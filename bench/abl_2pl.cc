@@ -1,0 +1,47 @@
+// Ablation / baseline study: traditional strict 2PL with deadlock
+// detection vs. the declaration-based schedulers. The paper's introduction
+// motivates the whole line of work with 2PL's "chains of blocking"; this
+// bench quantifies it on the Experiment-1 workload.
+
+#include <cstdio>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+#include "driver/sim_run.h"
+#include "util/string_util.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+  const Pattern pattern = Pattern::Experiment1(16);
+
+  PrintBanner(
+      "Baseline: traditional 2PL (deadlock detection + victim restart) vs "
+      "declaration-based schedulers");
+  TablePrinter table({"lambda(tps)", "2PL", "C2PL", "ASL", "LOW",
+                      "2PL restarts/txn"});
+  for (double rate : {0.3, 0.5, 0.7, 0.9}) {
+    std::vector<std::string> row = {FmtTps(rate)};
+    AggregateResult twopl;
+    for (SchedulerKind kind : {SchedulerKind::kTwoPl, SchedulerKind::kC2pl,
+                               SchedulerKind::kAsl, SchedulerKind::kLow}) {
+      SimConfig config = MakeConfig(kind, 16, 1, rate);
+      config.horizon_ms = opts.horizon_ms;
+      const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
+      if (kind == SchedulerKind::kTwoPl) twopl = r;
+      row.push_back(FmtSeconds(r.mean_response_s));
+      std::fflush(stdout);
+    }
+    row.push_back(FmtSpeedup(
+        twopl.completions > 0 ? twopl.restarts / twopl.completions : 0.0));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(cells: mean response time in seconds)\n");
+  const std::string csv = CsvPath(opts, "abl_2pl");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: scheduler CPU-cost charging. Table 1 gives kwtpgtime = 10 ms
+// for "computing E(q)" — we charge it per E() evaluation (1 + |C(q)| per
+// decision); the alternative reading charges a flat 10 ms per decision.
+// Also scales GOW's chaintime to show how sensitive the results are to the
+// optimizer's CPU price.
+
+#include <cstdio>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+#include "driver/sim_run.h"
+#include "util/string_util.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+  const Pattern pattern = Pattern::Experiment1(16);
+
+  PrintBanner("Ablation: LOW E() cost charging (1.0 TPS, DD=1)");
+  TablePrinter low_table({"charging", "mean RT(s)", "tput(tps)", "CN util"});
+  for (bool per_eval : {true, false}) {
+    SimConfig config = MakeConfig(SchedulerKind::kLow, 16, 1, 1.0);
+    config.low_charge_per_eval = per_eval;
+    config.horizon_ms = opts.horizon_ms;
+    const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
+    low_table.AddRow({per_eval ? "per-eval (default)" : "flat",
+                      FmtSeconds(r.mean_response_s), FmtTps(r.throughput_tps),
+                      FmtPercent(r.cn_utilization)});
+  }
+  low_table.Print();
+
+  PrintBanner("Ablation: GOW optimization CPU price (1.0 TPS, DD=1)");
+  TablePrinter gow_table(
+      {"chaintime(ms)", "mean RT(s)", "tput(tps)", "CN util"});
+  for (double chaintime : {0.0, 10.0, 30.0, 90.0, 300.0}) {
+    SimConfig config = MakeConfig(SchedulerKind::kGow, 16, 1, 1.0);
+    config.chain_time_ms = chaintime;
+    config.horizon_ms = opts.horizon_ms;
+    const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
+    gow_table.AddRow({FormatDouble(chaintime, 0),
+                      FmtSeconds(r.mean_response_s), FmtTps(r.throughput_tps),
+                      FmtPercent(r.cn_utilization)});
+    std::fflush(stdout);
+  }
+  gow_table.Print();
+  const std::string csv = CsvPath(opts, "abl_cost_charging");
+  if (!csv.empty() && gow_table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

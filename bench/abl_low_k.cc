@@ -1,0 +1,46 @@
+// Ablation: LOW's conflict bound K. The paper fixes K = 2; this sweep shows
+// the admission/optimism trade-off — K = 0 serializes conflicters (ASL-ish
+// on hot granules), large K admits more but computes bigger E() sets.
+
+#include <cstdio>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+#include "driver/sim_run.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+  const std::vector<int> ks = {0, 1, 2, 4, 8};
+
+  PrintBanner("Ablation: LOW conflict bound K (RT at 1.2 TPS, DD=1 and 4)");
+
+  TablePrinter table({"workload", "DD", "K", "mean RT(s)", "tput(tps)",
+                      "delayed/txn"});
+  for (bool hot_set : {false, true}) {
+    const Pattern pattern =
+        hot_set ? Pattern::Experiment2() : Pattern::Experiment1(16);
+    for (int dd : {1, 4}) {
+      for (int k : ks) {
+        SimConfig config = MakeConfig(SchedulerKind::kLow, 16, dd, 1.2);
+        config.low_k = k;
+        config.horizon_ms = opts.horizon_ms;
+        const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
+        table.AddRow({hot_set ? "Exp2(hot)" : "Exp1", std::to_string(dd),
+                      std::to_string(k), FmtSeconds(r.mean_response_s),
+                      FmtTps(r.throughput_tps),
+                      FmtSpeedup(r.completions > 0
+                                     ? r.delayed / r.completions
+                                     : 0.0)});
+        std::fflush(stdout);
+      }
+    }
+  }
+  table.Print();
+  const std::string csv = CsvPath(opts, "abl_low_k");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

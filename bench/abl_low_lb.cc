@@ -1,0 +1,50 @@
+// Extension study (the paper's "further work"): LOW-LB adds a
+// resource-level load-balancing penalty to E(q). Sweeps the penalty weight
+// on both workloads against plain LOW.
+
+#include <cstdio>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+#include "driver/sim_run.h"
+#include "util/string_util.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+
+  PrintBanner("Extension: LOW-LB load-balancing weight (1.0 TPS)");
+  TablePrinter table(
+      {"workload", "DD", "weight", "mean RT(s)", "tput(tps)"});
+  for (bool hot_set : {false, true}) {
+    const Pattern pattern =
+        hot_set ? Pattern::Experiment2() : Pattern::Experiment1(16);
+    for (int dd : {1, 2}) {
+      {
+        SimConfig config = MakeConfig(SchedulerKind::kLow, 16, dd, 1.0);
+        config.horizon_ms = opts.horizon_ms;
+        const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
+        table.AddRow({hot_set ? "Exp2(hot)" : "Exp1", std::to_string(dd),
+                      "LOW (off)", FmtSeconds(r.mean_response_s),
+                      FmtTps(r.throughput_tps)});
+      }
+      for (double weight : {0.25, 1.0, 4.0}) {
+        SimConfig config = MakeConfig(SchedulerKind::kLowLb, 16, dd, 1.0);
+        config.low_lb_weight = weight;
+        config.horizon_ms = opts.horizon_ms;
+        const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
+        table.AddRow({hot_set ? "Exp2(hot)" : "Exp1", std::to_string(dd),
+                      FormatDouble(weight, 2), FmtSeconds(r.mean_response_s),
+                      FmtTps(r.throughput_tps)});
+        std::fflush(stdout);
+      }
+    }
+  }
+  table.Print();
+  const std::string csv = CsvPath(opts, "abl_low_lb");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 10: response-time speedup vs. degree of declustering at
+// lambda = 1.2 TPS (Experiment 1, NumFiles = 16).
+// Speedup of scheduler S at DD = k is RT(S, DD=1) / RT(S, DD=k).
+
+#include <cstdio>
+#include <map>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+  const Pattern pattern = Pattern::Experiment1(16);
+  constexpr double kRate = 1.2;
+  const std::vector<int> dds = {1, 2, 4, 8};
+
+  PrintBanner(
+      "Figure 10: declustering vs. response-time speedup at 1.2 TPS "
+      "(Experiment 1, NumFiles=16)");
+  std::printf(
+      "Paper shape: ASL/GOW/LOW show near-linear speedup (~8-9x at DD=8,\n"
+      "13.4 peak for GOW/LOW); C2PL+M lags until DD=8; NODC ~2.4x; OPT\n"
+      "~1.6x (the smallest).\n\n");
+
+  // Collect response times, then derive speedups.
+  std::map<std::string, std::map<int, double>> rt;
+  for (SchedulerKind kind :
+       {SchedulerKind::kNodc, SchedulerKind::kAsl, SchedulerKind::kGow,
+        SchedulerKind::kLow, SchedulerKind::kOpt}) {
+    for (int dd : dds) {
+      rt[SchedulerLabel(kind)][dd] =
+          RunAtRate(kind, 16, dd, kRate, pattern, opts).mean_response_s;
+      std::fflush(stdout);
+    }
+  }
+  for (int dd : dds) {
+    rt["C2PL+M"][dd] =
+        RunC2plMAtRate(16, dd, kRate, pattern, opts).result.mean_response_s;
+    std::fflush(stdout);
+  }
+
+  const std::vector<std::string> order = {"NODC", "ASL",    "GOW",
+                                          "LOW",  "C2PL+M", "OPT"};
+  std::vector<std::string> headers = {"DD"};
+  for (const std::string& name : order) headers.push_back(name);
+  TablePrinter table(headers);
+  for (int dd : dds) {
+    std::vector<std::string> row = {std::to_string(dd)};
+    for (const std::string& name : order) {
+      row.push_back(FmtSpeedup(rt[name][1] / rt[name][dd]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(cells: RT(DD=1) / RT(DD=k); larger is better)\n");
+  const std::string csv = CsvPath(opts, "fig10_dd_vs_speedup");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

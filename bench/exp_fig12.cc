@@ -1,0 +1,55 @@
+// Figure 12: response-time speedup vs. declustering at lambda = 1.2 TPS on
+// the hot-set workload (Experiment 2).
+
+#include <cstdio>
+#include <map>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+  const Pattern pattern = Pattern::Experiment2();
+  constexpr double kRate = 1.2;
+  const std::vector<int> dds = {1, 2, 4, 8};
+
+  PrintBanner(
+      "Figure 12: declustering vs. response-time speedup at 1.2 TPS "
+      "(Experiment 2, hot set)");
+  std::printf(
+      "Paper shape: LOW/GOW/ASL have the best speedup (LOW best overall);\n"
+      "C2PL's is limited by chains of blocking on the hot files; NODC\n"
+      "~1.57x at DD=8; OPT the worst.\n\n");
+
+  std::map<std::string, std::map<int, double>> rt;
+  for (SchedulerKind kind : PaperSchedulers()) {
+    for (int dd : dds) {
+      rt[SchedulerLabel(kind)][dd] =
+          RunAtRate(kind, 16, dd, kRate, pattern, opts).mean_response_s;
+      std::fflush(stdout);
+    }
+  }
+
+  std::vector<std::string> headers = {"DD"};
+  for (SchedulerKind kind : PaperSchedulers()) {
+    headers.push_back(SchedulerLabel(kind));
+  }
+  TablePrinter table(headers);
+  for (int dd : dds) {
+    std::vector<std::string> row = {std::to_string(dd)};
+    for (SchedulerKind kind : PaperSchedulers()) {
+      const auto& series = rt[SchedulerLabel(kind)];
+      row.push_back(FmtSpeedup(series.at(1) / series.at(dd)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(cells: RT(DD=1) / RT(DD=k); larger is better)\n");
+  const std::string csv = CsvPath(opts, "fig12_hot_set_speedup");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 2: throughput (TPS) at mean response time = 70 s as the number of
+// files varies (Experiment 1, DD = 1, NumFiles in {8, 16, 32, 64}).
+
+#include <cstdio>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+
+  PrintBanner("Table 2: number of files vs. throughput at RT = 70 s (DD=1)");
+  std::printf(
+      "Paper:  #files   NODC  ASL   GOW   LOW   C2PL  OPT\n"
+      "        8        1.02  0.45  0.44  0.44  0.25  0.16\n"
+      "        16       1.04  0.72  0.67  0.65  0.35  0.24\n"
+      "        32       1.04  0.90  0.86  0.83  0.50  0.30\n"
+      "        64       1.04  0.96  0.95  0.94  0.62  0.38\n\n");
+
+  std::vector<std::string> headers = {"#files"};
+  for (SchedulerKind kind : PaperSchedulers()) {
+    headers.push_back(SchedulerLabel(kind));
+  }
+  TablePrinter table(headers);
+  for (int num_files : {8, 16, 32, 64}) {
+    const Pattern pattern = Pattern::Experiment1(num_files);
+    std::vector<std::string> row = {std::to_string(num_files)};
+    for (SchedulerKind kind : PaperSchedulers()) {
+      const OperatingPoint op = FindRt70(kind, num_files, 1, pattern, opts);
+      row.push_back(FmtTps(op.throughput_tps));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(cells: TPS at the lambda where mean RT crosses 70 s)\n");
+  const std::string csv = CsvPath(opts, "table2_files_vs_tps");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 4: Experiment 2 (hot-set updates) — throughput at RT = 70 s and
+// mean response time at lambda = 1.2 TPS, for DD in {1, 2, 4}.
+
+#include <cstdio>
+
+#include "driver/experiments.h"
+#include "driver/report.h"
+
+using namespace wtpgsched;
+
+int main() {
+  const BenchOptions opts = GetBenchOptions();
+  const Pattern pattern = Pattern::Experiment2();
+
+  PrintBanner("Table 4: Experiment 2 (hot set) throughput and response time");
+  std::printf(
+      "Paper:            NODC  ASL   GOW   LOW   C2PL  OPT\n"
+      "  tput@70s DD=1   1.10  0.40  0.57  0.77  0.70  0.38\n"
+      "           DD=2   1.11  0.70  0.88  1.01  0.92  0.55\n"
+      "           DD=4   1.13  1.03  1.10  1.12  1.09  0.85\n"
+      "  RT@1.2   DD=1   112   611   500   321   432   751\n"
+      "           DD=2   97    380   252   133   242   746\n"
+      "           DD=4   87    116   80    57    118   457\n"
+      "Key ordering: LOW best, then C2PL, GOW, ASL; OPT worst.\n\n");
+
+  std::vector<std::string> headers = {"metric", "DD"};
+  for (SchedulerKind kind : PaperSchedulers()) {
+    headers.push_back(SchedulerLabel(kind));
+  }
+  TablePrinter table(headers);
+  for (int dd : {1, 2, 4}) {
+    std::vector<std::string> row = {"tput@70s", std::to_string(dd)};
+    for (SchedulerKind kind : PaperSchedulers()) {
+      const OperatingPoint op = FindRt70(kind, 16, dd, pattern, opts);
+      row.push_back(FmtTps(op.throughput_tps));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  for (int dd : {1, 2, 4}) {
+    std::vector<std::string> row = {"RT@1.2tps", std::to_string(dd)};
+    for (SchedulerKind kind : PaperSchedulers()) {
+      const AggregateResult r = RunAtRate(kind, 16, dd, 1.2, pattern, opts);
+      row.push_back(FmtSeconds(r.mean_response_s));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  const std::string csv = CsvPath(opts, "table4_hot_set");
+  if (!csv.empty() && table.WriteCsv(csv).ok()) {
+    std::printf("CSV: %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Microbenchmarks of the WTPG primitives (google-benchmark): graph
+// maintenance, orientation with closure, E(q) evaluation, critical path,
+// and the GOW chain DP. These are the operations whose CPU prices Table 1
+// charges at the control node.
+
+#include <benchmark/benchmark.h>
+
+#include "util/random.h"
+#include "wtpg/chain.h"
+#include "wtpg/wtpg.h"
+
+namespace wtpgsched {
+namespace {
+
+// A random WTPG with `n` nodes and edge probability `p`, with about half
+// the edges oriented. Orienting in ascending id order keeps the graph
+// acyclic, so the clone-free OrientNoRollback always succeeds — setup for
+// the 512-node case must not pay TryOrient's defensive copies.
+Wtpg RandomGraph(int n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Wtpg g;
+  for (int i = 1; i <= n; ++i) g.AddNode(i, rng.UniformReal(0.0, 8.0));
+  std::vector<std::pair<TxnId, TxnId>> to_orient;
+  for (int a = 1; a <= n; ++a) {
+    for (int b = a + 1; b <= n; ++b) {
+      if (rng.NextDouble() < p) {
+        g.AddConflictEdge(a, b, rng.UniformReal(0.0, 8.0),
+                          rng.UniformReal(0.0, 8.0));
+        if (rng.NextDouble() < 0.5) to_orient.emplace_back(a, b);
+      }
+    }
+  }
+  for (const auto& [a, b] : to_orient) {
+    const Wtpg::Edge* e = g.FindEdge(a, b);
+    if (e != nullptr && !e->oriented) g.OrientNoRollback(a, b);
+  }
+  return g;
+}
+
+Wtpg RandomChain(int n, uint64_t seed) {
+  Rng rng(seed);
+  Wtpg g;
+  for (int i = 1; i <= n; ++i) g.AddNode(i, rng.UniformReal(0.0, 8.0));
+  for (int i = 1; i < n; ++i) {
+    g.AddConflictEdge(i, i + 1, rng.UniformReal(0.0, 8.0),
+                      rng.UniformReal(0.0, 8.0));
+  }
+  return g;
+}
+
+void BM_AddRemoveNode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Wtpg g = RandomGraph(n, 0.2, 1);
+  for (auto _ : state) {
+    g.AddNode(n + 1, 3.0);
+    g.AddConflictEdge(1, n + 1, 1.0, 2.0);
+    g.AddConflictEdge(2, n + 1, 1.0, 2.0);
+    g.RemoveNode(n + 1);
+  }
+}
+BENCHMARK(BM_AddRemoveNode)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const Wtpg g = RandomGraph(static_cast<int>(state.range(0)), 0.2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.CriticalPath());
+  }
+}
+BENCHMARK(BM_CriticalPath)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_EvaluateGrant(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Wtpg g = RandomGraph(n, 0.2, 3);
+  // Pick a node with unoriented edges as the grantee.
+  TxnId grantee = 1;
+  std::vector<TxnId> targets;
+  for (const auto& [a, b] : g.UnorientedEdges()) {
+    grantee = a;
+    targets = {b};
+    break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateGrant(g, grantee, targets));
+  }
+}
+BENCHMARK(BM_EvaluateGrant)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_WouldCycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Wtpg g = RandomGraph(n, 0.2, 4);
+  TxnId grantee = 1;
+  std::vector<TxnId> targets;
+  for (const auto& [a, b] : g.UnorientedEdges()) {
+    grantee = a;
+    targets = {b};
+    break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.WouldCycle(grantee, targets));
+  }
+}
+BENCHMARK(BM_WouldCycle)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ChainOptimize(benchmark::State& state) {
+  const Wtpg g = RandomChain(static_cast<int>(state.range(0)), 5);
+  const std::vector<TxnId> chain = ChainContaining(g, 1);
+  for (auto _ : state) {
+    auto plan = OptimizeChain(g, chain);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ChainOptimize)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ChainFormTest(benchmark::State& state) {
+  const Wtpg g = RandomChain(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsChainForm(g));
+  }
+}
+BENCHMARK(BM_ChainFormTest)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace wtpgsched

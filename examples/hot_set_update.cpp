@@ -1,0 +1,67 @@
+// Hot-set batch updates (the paper's Experiment-2 scenario): periodic
+// database-maintenance batches that read a large archive file and then
+// update two of eight hot "master" files. Shows why the choice of
+// concurrency-control scheduler matters on such a workload: ASL preclaims
+// the hot files and strangles concurrency, C2PL admits everyone and builds
+// chains of blocking, LOW threads the needle.
+//
+//   ./build/examples/hot_set_update
+
+#include <cstdio>
+
+#include "driver/sim_run.h"
+#include "machine/config.h"
+#include "workload/pattern.h"
+
+using namespace wtpgsched;
+
+int main() {
+  // A custom hot-set pattern built with the library's pattern mechanism:
+  //   r(ARCHIVE:5) -> w(HOT1:1) -> w(HOT2:1)
+  // ARCHIVE drawn from 8 read-only files, HOT1/HOT2 distinct from 8 hot
+  // files (this is exactly Pattern::Experiment2(), spelled out).
+  const LockMode kS = LockMode::kShared;
+  const LockMode kX = LockMode::kExclusive;
+  Pattern pattern("hot-set-maintenance",
+                  {
+                      {0, 7, /*distinct_within_pool=*/true},   // ARCHIVE
+                      {8, 15, /*distinct_within_pool=*/true},  // HOT1
+                      {8, 15, /*distinct_within_pool=*/true},  // HOT2
+                  },
+                  {
+                      {/*is_write=*/false, kS, 0, 5.0},
+                      {/*is_write=*/true, kX, 1, 1.0},
+                      {/*is_write=*/true, kX, 2, 1.0},
+                  });
+
+  std::printf(
+      "Hot-set maintenance batches, 16 files on 8 nodes, 0.8 TPS.\n"
+      "Paper's finding (Table 4): LOW > C2PL > GOW > ASL > OPT here.\n\n");
+  std::printf("%-10s %12s %12s %10s %10s %10s\n", "scheduler", "mean-rt(s)",
+              "tput(tps)", "blocked", "delayed", "restarts");
+
+  for (SchedulerKind kind :
+       {SchedulerKind::kLow, SchedulerKind::kC2pl, SchedulerKind::kGow,
+        SchedulerKind::kAsl, SchedulerKind::kOpt}) {
+    SimConfig config;
+    config.scheduler = kind;
+    config.num_files = 16;
+    config.dd = 1;  // Placement tuned for short transactions.
+    config.arrival_rate_tps = 0.8;
+    config.horizon_ms = 2'000'000;
+    config.seed = 2026;
+    const RunStats stats = RunSimulation(config, pattern);
+    std::printf("%-10s %12.1f %12.2f %10llu %10llu %10llu\n",
+                SchedulerKindName(kind), stats.mean_response_s,
+                stats.throughput_tps,
+                static_cast<unsigned long long>(stats.blocked),
+                static_cast<unsigned long long>(stats.delayed),
+                static_cast<unsigned long long>(stats.restarts));
+  }
+
+  std::printf(
+      "\nTakeaway: on hot-set updates, pick LOW — it admits as much\n"
+      "concurrency as the K-conflict bound allows while ordering grants by\n"
+      "the WTPG critical-path estimate.\n");
+  return 0;
+}

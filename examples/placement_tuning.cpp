@@ -1,0 +1,58 @@
+// Data-placement study: can a shared-nothing machine keep a placement tuned
+// for short transactions (low declustering) without crippling its batch
+// window? The paper's answer: yes — with the right batch scheduler, most of
+// the benefit of declustering arrives by DD = 2..4, and a good scheduler at
+// DD = 2 beats a bad one at DD = 8.
+//
+//   ./build/examples/placement_tuning
+
+#include <cstdio>
+
+#include "driver/sim_run.h"
+#include "machine/config.h"
+#include "workload/pattern.h"
+
+using namespace wtpgsched;
+
+namespace {
+
+double MeanRt(SchedulerKind kind, int dd, double rate) {
+  SimConfig config;
+  config.scheduler = kind;
+  config.num_files = 16;
+  config.dd = dd;
+  config.arrival_rate_tps = rate;
+  config.horizon_ms = 2'000'000;
+  config.seed = 99;
+  return RunSimulation(config, Pattern::Experiment1(16)).mean_response_s;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kRate = 1.2;  // Heavy batch load.
+  std::printf(
+      "Batch window at %.1f TPS (Experiment-1 workload, 16 files, 8 "
+      "nodes).\nMean response time (s) and speedup vs DD=1:\n\n",
+      kRate);
+  std::printf("%-10s", "scheduler");
+  for (int dd : {1, 2, 4, 8}) std::printf("     DD=%d (speedup)", dd);
+  std::printf("\n");
+
+  for (SchedulerKind kind : {SchedulerKind::kLow, SchedulerKind::kGow,
+                             SchedulerKind::kAsl, SchedulerKind::kC2pl}) {
+    std::printf("%-10s", SchedulerKindName(kind));
+    const double base = MeanRt(kind, 1, kRate);
+    for (int dd : {1, 2, 4, 8}) {
+      const double rt = MeanRt(kind, dd, kRate);
+      std::printf("  %8.0f (%5.2fx)", rt, base / rt);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading the table: LOW/GOW at modest declustering already deliver\n"
+      "most of the parallelism win, so the placement can stay tuned for\n"
+      "short-transaction locality — the paper's central design argument.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "analysis/schedule_log.h"
+
+namespace wtpgsched {
+
+void ScheduleLog::RecordAccess(TxnId txn, int incarnation, FileId file,
+                               LockMode mode, SimTime effective_time) {
+  accesses_.push_back(
+      Access{txn, incarnation, file, mode, effective_time, next_sequence_++});
+}
+
+void ScheduleLog::RecordCommit(TxnId txn, int incarnation) {
+  committed_[txn] = incarnation;
+}
+
+void ScheduleLog::Clear() {
+  accesses_.clear();
+  committed_.clear();
+  next_sequence_ = 0;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,59 @@
+#ifndef WTPG_SCHED_ANALYSIS_SCHEDULE_LOG_H_
+#define WTPG_SCHED_ANALYSIS_SCHEDULE_LOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/lock_mode.h"
+#include "model/types.h"
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// Records the data accesses of an execution so that serializability of the
+// committed projection can be verified after the fact (analysis tool; not
+// part of the simulated machine).
+//
+// Each access carries an *effective time*: the instant at which the access
+// logically touches the shared database. For locking schedulers that is the
+// step's execution; for OPT, writes go to private copies and are installed
+// at commit, so the machine logs OPT writes with the commit timestamp.
+//
+// Accesses are tagged with the transaction's incarnation (restart count) so
+// that the work of aborted OPT incarnations — which never installed its
+// writes — can be excluded from the committed projection.
+class ScheduleLog {
+ public:
+  struct Access {
+    TxnId txn;
+    int incarnation;
+    FileId file;
+    LockMode mode;  // Semantic: kShared = read, kExclusive = write.
+    SimTime effective_time;
+    uint64_t sequence;  // Tie-break for equal timestamps.
+  };
+
+  void RecordAccess(TxnId txn, int incarnation, FileId file, LockMode mode,
+                    SimTime effective_time);
+
+  // Marks `txn`'s incarnation as the committed one.
+  void RecordCommit(TxnId txn, int incarnation);
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+  // txn id -> committed incarnation.
+  const std::unordered_map<TxnId, int>& committed() const {
+    return committed_;
+  }
+
+  void Clear();
+
+ private:
+  std::vector<Access> accesses_;
+  std::unordered_map<TxnId, int> committed_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_ANALYSIS_SCHEDULE_LOG_H_

@@ -1,0 +1,99 @@
+#include "analysis/serializability.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+namespace {
+
+// DFS colors for cycle detection.
+enum class Color { kWhite, kGray, kBlack };
+
+bool FindCycle(TxnId node,
+               const std::unordered_map<TxnId, std::unordered_set<TxnId>>& adj,
+               std::unordered_map<TxnId, Color>* color,
+               std::vector<TxnId>* stack, std::vector<TxnId>* cycle) {
+  (*color)[node] = Color::kGray;
+  stack->push_back(node);
+  auto it = adj.find(node);
+  if (it != adj.end()) {
+    for (TxnId next : it->second) {
+      Color c = color->count(next) ? (*color)[next] : Color::kWhite;
+      if (c == Color::kGray) {
+        // Extract the cycle from the stack.
+        auto pos = std::find(stack->begin(), stack->end(), next);
+        cycle->assign(pos, stack->end());
+        return true;
+      }
+      if (c == Color::kWhite &&
+          FindCycle(next, adj, color, stack, cycle)) {
+        return true;
+      }
+    }
+  }
+  stack->pop_back();
+  (*color)[node] = Color::kBlack;
+  return false;
+}
+
+}  // namespace
+
+std::string SerializabilityResult::ToString() const {
+  if (serializable) return "serializable";
+  std::vector<std::string> parts;
+  for (TxnId id : cycle) parts.push_back(StrCat("T", id));
+  return StrCat("NOT serializable; cycle: ", Join(parts, " -> "));
+}
+
+SerializabilityResult CheckConflictSerializability(const ScheduleLog& log) {
+  SerializabilityResult result;
+  const auto& committed = log.committed();
+
+  // Committed accesses per file, in effective-time order.
+  std::map<FileId, std::vector<ScheduleLog::Access>> per_file;
+  for (const auto& access : log.accesses()) {
+    auto it = committed.find(access.txn);
+    if (it == committed.end() || it->second != access.incarnation) continue;
+    per_file[access.file].push_back(access);
+  }
+
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adj;
+  for (auto& [file, accesses] : per_file) {
+    (void)file;
+    std::sort(accesses.begin(), accesses.end(),
+              [](const ScheduleLog::Access& a, const ScheduleLog::Access& b) {
+                if (a.effective_time != b.effective_time) {
+                  return a.effective_time < b.effective_time;
+                }
+                return a.sequence < b.sequence;
+              });
+    for (size_t i = 0; i < accesses.size(); ++i) {
+      for (size_t j = i + 1; j < accesses.size(); ++j) {
+        const auto& a = accesses[i];
+        const auto& b = accesses[j];
+        if (a.txn == b.txn) continue;
+        if (Conflicts(a.mode, b.mode)) adj[a.txn].insert(b.txn);
+      }
+    }
+  }
+
+  std::unordered_map<TxnId, Color> color;
+  std::vector<TxnId> stack;
+  for (const auto& [txn, incarnation] : committed) {
+    (void)incarnation;
+    Color c = color.count(txn) ? color[txn] : Color::kWhite;
+    if (c == Color::kWhite &&
+        FindCycle(txn, adj, &color, &stack, &result.cycle)) {
+      result.serializable = false;
+      return result;
+    }
+  }
+  result.serializable = true;
+  return result;
+}
+
+}  // namespace wtpgsched

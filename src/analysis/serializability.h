@@ -1,0 +1,30 @@
+#ifndef WTPG_SCHED_ANALYSIS_SERIALIZABILITY_H_
+#define WTPG_SCHED_ANALYSIS_SERIALIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_log.h"
+#include "model/types.h"
+
+namespace wtpgsched {
+
+// Conflict-serializability verdict for the committed projection of a
+// schedule log.
+struct SerializabilityResult {
+  bool serializable = false;
+  // One witness cycle (transaction ids) when not serializable.
+  std::vector<TxnId> cycle;
+  std::string ToString() const;
+};
+
+// Builds the conflict graph over committed transactions — an edge a -> b
+// for each pair of conflicting accesses (same file, at least one write)
+// where a's access has the earlier effective time — and tests it for
+// acyclicity. Accesses of uncommitted/aborted transactions are ignored
+// (aborted OPT incarnations never installed their writes).
+SerializabilityResult CheckConflictSerializability(const ScheduleLog& log);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_ANALYSIS_SERIALIZABILITY_H_

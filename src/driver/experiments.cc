@@ -1,0 +1,105 @@
+#include "driver/experiments.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atof(value);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace
+
+std::vector<SchedulerKind> PaperSchedulers() {
+  return {SchedulerKind::kNodc, SchedulerKind::kAsl, SchedulerKind::kGow,
+          SchedulerKind::kLow,  SchedulerKind::kC2pl, SchedulerKind::kOpt};
+}
+
+std::string SchedulerLabel(SchedulerKind kind) {
+  return SchedulerKindName(kind);
+}
+
+SimConfig MakeConfig(SchedulerKind kind, int num_files, int dd,
+                     double arrival_rate_tps, double error_sigma) {
+  SimConfig config;  // Table-1 defaults.
+  config.scheduler = kind;
+  config.num_files = num_files;
+  config.dd = dd;
+  config.arrival_rate_tps = arrival_rate_tps;
+  config.error_sigma = error_sigma;
+  return config;
+}
+
+BenchOptions GetBenchOptions() {
+  BenchOptions options;
+  const char* fast = std::getenv("WTPG_FAST");
+  if (fast != nullptr && fast[0] == '1') {
+    options.seeds = 1;
+    options.rt_iters = 6;
+    options.rt_tol_s = 5.0;
+    options.horizon_ms = 500'000;
+  }
+  options.seeds = EnvInt("WTPG_SEEDS", options.seeds);
+  options.rt_iters = EnvInt("WTPG_RT_ITERS", options.rt_iters);
+  options.rt_tol_s = EnvDouble("WTPG_RT_TOL", options.rt_tol_s);
+  options.horizon_ms = EnvDouble("WTPG_HORIZON_MS", options.horizon_ms);
+  const char* dir = std::getenv("WTPG_CSV_DIR");
+  if (dir != nullptr) options.csv_dir = dir;
+  return options;
+}
+
+std::string CsvPath(const BenchOptions& options, const std::string& name) {
+  if (options.csv_dir.empty()) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(options.csv_dir, ec);
+  if (ec) {
+    WTPG_LOG(Warning) << "cannot create CSV dir " << options.csv_dir << ": "
+                      << ec.message();
+    return "";
+  }
+  return StrCat(options.csv_dir, "/", name, ".csv");
+}
+
+OperatingPoint FindRt70(SchedulerKind kind, int num_files, int dd,
+                        const Pattern& pattern, const BenchOptions& options,
+                        double error_sigma) {
+  SimConfig config = MakeConfig(kind, num_files, dd, /*arrival_rate_tps=*/1.0,
+                                error_sigma);
+  config.horizon_ms = options.horizon_ms;
+  return FindRateForResponseTime(config, pattern, kRtTargetSeconds, kLambdaLo,
+                                 kLambdaHi, options.seeds, options.rt_iters,
+                                 options.rt_tol_s);
+}
+
+AggregateResult RunAtRate(SchedulerKind kind, int num_files, int dd,
+                          double arrival_rate_tps, const Pattern& pattern,
+                          const BenchOptions& options, double error_sigma) {
+  SimConfig config =
+      MakeConfig(kind, num_files, dd, arrival_rate_tps, error_sigma);
+  config.horizon_ms = options.horizon_ms;
+  return RunAggregate(config, pattern, options.seeds);
+}
+
+MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
+                         const Pattern& pattern, const BenchOptions& options,
+                         double error_sigma) {
+  SimConfig config = MakeConfig(SchedulerKind::kC2pl, num_files, dd,
+                                arrival_rate_tps, error_sigma);
+  config.horizon_ms = options.horizon_ms;
+  return TuneMpl(config, pattern, DefaultMplCandidates(), options.seeds);
+}
+
+}  // namespace wtpgsched

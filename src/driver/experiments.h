@@ -1,0 +1,78 @@
+#ifndef WTPG_SCHED_DRIVER_EXPERIMENTS_H_
+#define WTPG_SCHED_DRIVER_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/sim_run.h"
+#include "driver/sweep.h"
+#include "machine/config.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+
+// Shared definitions for the experiment (bench) binaries reproducing the
+// paper's Section 5. Each bench regenerates one table or figure; the pieces
+// they share — scheduler line-up, Table-1 base configuration, the
+// RT = 70 s operating-point search — live here.
+
+// The six schedulers in the paper's reporting order:
+// NODC, ASL, GOW, LOW, C2PL, OPT.
+std::vector<SchedulerKind> PaperSchedulers();
+
+// Short label matching the paper's tables (LOW means LOW with K=2).
+std::string SchedulerLabel(SchedulerKind kind);
+
+// Table-1 configuration for one scheduler; experiments override num_files,
+// dd, arrival rate and sigma as needed.
+SimConfig MakeConfig(SchedulerKind kind, int num_files, int dd,
+                     double arrival_rate_tps, double error_sigma = 0.0);
+
+// Effort knobs, overridable via environment variables:
+//   WTPG_SEEDS     seeds per data point          (default 1, as the paper)
+//   WTPG_RT_ITERS  bisection iterations          (default 9)
+//   WTPG_RT_TOL    bisection tolerance, seconds  (default 2.5)
+//   WTPG_HORIZON_MS simulation horizon           (default 2,000,000)
+//   WTPG_CSV_DIR   CSV output directory          (default "results")
+//   WTPG_FAST=1    quick mode: 1 seed, 6 iters, 500k ms horizon
+struct BenchOptions {
+  int seeds = 1;  // The paper reports single runs; raise via WTPG_SEEDS.
+  int rt_iters = 9;
+  double rt_tol_s = 2.5;
+  double horizon_ms = 2'000'000;
+  std::string csv_dir = "results";
+};
+
+BenchOptions GetBenchOptions();
+
+// Ensures options.csv_dir exists and returns "<dir>/<name>.csv"; empty
+// string when CSV output is disabled.
+std::string CsvPath(const BenchOptions& options, const std::string& name);
+
+// The response-time target the paper's throughput tables use.
+inline constexpr double kRtTargetSeconds = 70.0;
+// Arrival-rate bracket for the operating-point search (the paper sweeps
+// lambda in [0, 1.4] TPS).
+inline constexpr double kLambdaLo = 0.05;
+inline constexpr double kLambdaHi = 1.6;
+
+// Throughput at mean response time = 70 s for one scheduler/configuration.
+OperatingPoint FindRt70(SchedulerKind kind, int num_files, int dd,
+                        const Pattern& pattern, const BenchOptions& options,
+                        double error_sigma = 0.0);
+
+// Mean response time at a fixed arrival rate.
+AggregateResult RunAtRate(SchedulerKind kind, int num_files, int dd,
+                          double arrival_rate_tps, const Pattern& pattern,
+                          const BenchOptions& options,
+                          double error_sigma = 0.0);
+
+// C2PL+M at a fixed arrival rate: C2PL with the MPL tuned for best mean
+// response time.
+MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
+                         const Pattern& pattern, const BenchOptions& options,
+                         double error_sigma = 0.0);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_DRIVER_EXPERIMENTS_H_

@@ -1,0 +1,68 @@
+#include "driver/report.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  WTPG_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << PadLeft(row[c], widths[c]) << " |";
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  CsvWriter writer;
+  Status status = writer.Open(path);
+  if (!status.ok()) return status;
+  writer.WriteHeader(headers_);
+  for (const auto& row : rows_) writer.WriteRow(row);
+  writer.Close();
+  return Status::Ok();
+}
+
+std::string FmtTps(double tps) { return FormatDouble(tps, 2); }
+
+std::string FmtSeconds(double s) {
+  return s >= 100.0 ? FormatDouble(s, 0) : FormatDouble(s, 1);
+}
+
+std::string FmtSpeedup(double x) { return FormatDouble(x, 2); }
+
+std::string FmtPercent(double frac) {
+  return StrCat(FormatDouble(frac * 100.0, 1), "%");
+}
+
+void PrintBanner(const std::string& title, std::ostream& out) {
+  out << "\n=== " << title << " ===\n";
+}
+
+}  // namespace wtpgsched

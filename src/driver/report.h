@@ -1,0 +1,44 @@
+#ifndef WTPG_SCHED_DRIVER_REPORT_H_
+#define WTPG_SCHED_DRIVER_REPORT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace wtpgsched {
+
+// Fixed-width ASCII table printer for the bench binaries' paper-style
+// output; optionally mirrors rows into a CSV file for plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Writes the table to `out` with aligned columns.
+  void Print(std::ostream& out = std::cout) const;
+
+  // Writes header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting mirroring the paper's tables.
+std::string FmtTps(double tps);      // 2 decimals.
+std::string FmtSeconds(double s);    // 0 decimals >= 100, else 1.
+std::string FmtSpeedup(double x);    // 2 decimals.
+std::string FmtPercent(double frac); // "95%".
+
+// Prints a section banner.
+void PrintBanner(const std::string& title, std::ostream& out = std::cout);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_DRIVER_REPORT_H_

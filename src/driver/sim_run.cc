@@ -1,0 +1,45 @@
+#include "driver/sim_run.h"
+
+#include "machine/machine.h"
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+RunStats RunSimulation(const SimConfig& config, const Pattern& pattern) {
+  Machine machine(config, pattern);
+  return machine.Run();
+}
+
+AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
+                             int num_seeds) {
+  WTPG_CHECK_GE(num_seeds, 1);
+  AggregateResult agg;
+  agg.num_seeds = num_seeds;
+  const uint64_t base_seed = config.seed;
+  for (int i = 0; i < num_seeds; ++i) {
+    config.seed = base_seed + static_cast<uint64_t>(i);
+    const RunStats stats = RunSimulation(config, pattern);
+    agg.mean_response_s += stats.mean_response_s;
+    agg.throughput_tps += stats.throughput_tps;
+    agg.completions += static_cast<double>(stats.completions_measured);
+    agg.restarts += static_cast<double>(stats.restarts);
+    agg.blocked += static_cast<double>(stats.blocked);
+    agg.delayed += static_cast<double>(stats.delayed);
+    agg.start_rejections += static_cast<double>(stats.start_rejections);
+    agg.cn_utilization += stats.cn_utilization;
+    agg.mean_dpn_utilization += stats.mean_dpn_utilization;
+  }
+  const double n = static_cast<double>(num_seeds);
+  agg.mean_response_s /= n;
+  agg.throughput_tps /= n;
+  agg.completions /= n;
+  agg.restarts /= n;
+  agg.blocked /= n;
+  agg.delayed /= n;
+  agg.start_rejections /= n;
+  agg.cn_utilization /= n;
+  agg.mean_dpn_utilization /= n;
+  return agg;
+}
+
+}  // namespace wtpgsched

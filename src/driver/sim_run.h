@@ -1,0 +1,34 @@
+#ifndef WTPG_SCHED_DRIVER_SIM_RUN_H_
+#define WTPG_SCHED_DRIVER_SIM_RUN_H_
+
+#include "machine/config.h"
+#include "metrics/stats.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+
+// Runs one simulation with the given configuration and workload pattern.
+RunStats RunSimulation(const SimConfig& config, const Pattern& pattern);
+
+// Cross-seed aggregate of the figures the experiments report. Seeds are
+// config.seed, config.seed + 1, ... (common random numbers across
+// schedulers at equal seeds).
+struct AggregateResult {
+  double mean_response_s = 0.0;
+  double throughput_tps = 0.0;
+  double completions = 0.0;
+  double restarts = 0.0;
+  double blocked = 0.0;
+  double delayed = 0.0;
+  double start_rejections = 0.0;
+  double cn_utilization = 0.0;
+  double mean_dpn_utilization = 0.0;
+  int num_seeds = 0;
+};
+
+AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
+                             int num_seeds);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_DRIVER_SIM_RUN_H_

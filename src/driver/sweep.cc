@@ -1,0 +1,105 @@
+#include "driver/sweep.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+OperatingPoint FindRateForResponseTime(const SimConfig& base,
+                                       const Pattern& pattern,
+                                       double target_s, double lo_tps,
+                                       double hi_tps, int num_seeds,
+                                       int iters, double tol_s) {
+  WTPG_CHECK_GT(lo_tps, 0.0);
+  WTPG_CHECK_GT(hi_tps, lo_tps);
+
+  auto evaluate = [&](double rate) {
+    SimConfig config = base;
+    config.arrival_rate_tps = rate;
+    return RunAggregate(config, pattern, num_seeds);
+  };
+
+  OperatingPoint point;
+  // Check the brackets first: the curve may sit entirely below or above the
+  // target within [lo, hi].
+  AggregateResult at_hi = evaluate(hi_tps);
+  if (at_hi.mean_response_s <= target_s) {
+    point.lambda_tps = hi_tps;
+    point.mean_response_s = at_hi.mean_response_s;
+    point.throughput_tps = at_hi.throughput_tps;
+    point.converged = false;
+    return point;
+  }
+  AggregateResult at_lo = evaluate(lo_tps);
+  if (at_lo.mean_response_s >= target_s) {
+    point.lambda_tps = lo_tps;
+    point.mean_response_s = at_lo.mean_response_s;
+    point.throughput_tps = at_lo.throughput_tps;
+    point.converged = false;
+    return point;
+  }
+
+  double lo = lo_tps;
+  double hi = hi_tps;
+  AggregateResult best = at_lo;
+  double best_rate = lo_tps;
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const AggregateResult at_mid = evaluate(mid);
+    if (std::abs(at_mid.mean_response_s - target_s) <
+        std::abs(best.mean_response_s - target_s)) {
+      best = at_mid;
+      best_rate = mid;
+    }
+    if (std::abs(at_mid.mean_response_s - target_s) <= tol_s) break;
+    if (at_mid.mean_response_s < target_s) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  point.lambda_tps = best_rate;
+  point.mean_response_s = best.mean_response_s;
+  point.throughput_tps = best.throughput_tps;
+  point.converged = true;
+  return point;
+}
+
+std::vector<SweepPoint> SweepArrivalRates(const SimConfig& base,
+                                          const Pattern& pattern,
+                                          const std::vector<double>& rates,
+                                          int num_seeds) {
+  std::vector<SweepPoint> points;
+  points.reserve(rates.size());
+  for (double rate : rates) {
+    SimConfig config = base;
+    config.arrival_rate_tps = rate;
+    points.push_back(SweepPoint{rate, RunAggregate(config, pattern, num_seeds)});
+  }
+  return points;
+}
+
+MplChoice TuneMpl(const SimConfig& base, const Pattern& pattern,
+                  const std::vector<int>& candidates, int num_seeds) {
+  WTPG_CHECK(!candidates.empty());
+  MplChoice best;
+  bool first = true;
+  for (int mpl : candidates) {
+    SimConfig config = base;
+    config.mpl = mpl;
+    const AggregateResult result = RunAggregate(config, pattern, num_seeds);
+    if (first || result.mean_response_s < best.result.mean_response_s) {
+      best.mpl = mpl;
+      best.result = result;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<int> DefaultMplCandidates() {
+  return {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,59 @@
+#ifndef WTPG_SCHED_DRIVER_SWEEP_H_
+#define WTPG_SCHED_DRIVER_SWEEP_H_
+
+#include <vector>
+
+#include "driver/sim_run.h"
+#include "machine/config.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+
+// The operating point where a scheduler's mean response time reaches a
+// target (the paper reads "throughput at Resp.Time = 70 sec" off the
+// response-time curve).
+struct OperatingPoint {
+  double lambda_tps = 0.0;
+  double mean_response_s = 0.0;
+  double throughput_tps = 0.0;
+  // False when the target is not bracketed by [lo, hi] (the returned point
+  // is then the closer bracket end).
+  bool converged = false;
+};
+
+// Bisects arrival rate in [lo_tps, hi_tps] until mean response time is
+// within `tol_s` of `target_s` (or `iters` halvings elapse). Response time
+// is monotone (noisily) increasing in arrival rate.
+OperatingPoint FindRateForResponseTime(const SimConfig& base,
+                                       const Pattern& pattern,
+                                       double target_s, double lo_tps,
+                                       double hi_tps, int num_seeds,
+                                       int iters, double tol_s);
+
+struct SweepPoint {
+  double lambda_tps = 0.0;
+  AggregateResult result;
+};
+
+// Runs the simulation at each arrival rate.
+std::vector<SweepPoint> SweepArrivalRates(const SimConfig& base,
+                                          const Pattern& pattern,
+                                          const std::vector<double>& rates,
+                                          int num_seeds);
+
+// C2PL+M: picks the MPL minimizing mean response time at the base arrival
+// rate ("the best C2PL to control multi-programming level").
+struct MplChoice {
+  int mpl = 0;
+  AggregateResult result;
+};
+
+MplChoice TuneMpl(const SimConfig& base, const Pattern& pattern,
+                  const std::vector<int>& candidates, int num_seeds);
+
+// Default MPL candidate ladder for the tuner.
+std::vector<int> DefaultMplCandidates();
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_DRIVER_SWEEP_H_

@@ -1,0 +1,102 @@
+#include "lock/lock_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+bool LockTable::CanGrant(FileId file, TxnId txn, LockMode mode) const {
+  auto it = locks_.find(file);
+  if (it == locks_.end()) return true;
+  for (const Holder& h : it->second) {
+    if (h.txn == txn) continue;
+    if (!Compatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+void LockTable::Grant(FileId file, TxnId txn, LockMode mode) {
+  WTPG_CHECK(CanGrant(file, txn, mode))
+      << "Grant() of incompatible lock on file " << file << " to T" << txn;
+  ForceGrant(file, txn, mode);
+}
+
+void LockTable::ForceGrant(FileId file, TxnId txn, LockMode mode) {
+  auto& holders = locks_[file];
+  for (Holder& h : holders) {
+    if (h.txn == txn) {
+      h.mode = Stronger(h.mode, mode);
+      return;
+    }
+  }
+  holders.push_back(Holder{txn, mode});
+}
+
+std::vector<FileId> LockTable::ReleaseAll(TxnId txn) {
+  std::vector<FileId> released;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    auto& holders = it->second;
+    const size_t before = holders.size();
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn](const Holder& h) { return h.txn == txn; }),
+                  holders.end());
+    if (holders.size() != before) released.push_back(it->first);
+    if (holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+bool LockTable::HoldsSufficient(FileId file, TxnId txn, LockMode mode) const {
+  auto it = locks_.find(file);
+  if (it == locks_.end()) return false;
+  for (const Holder& h : it->second) {
+    if (h.txn == txn) return Stronger(h.mode, mode) == h.mode;
+  }
+  return false;
+}
+
+bool LockTable::Holds(FileId file, TxnId txn) const {
+  auto it = locks_.find(file);
+  if (it == locks_.end()) return false;
+  for (const Holder& h : it->second) {
+    if (h.txn == txn) return true;
+  }
+  return false;
+}
+
+std::vector<LockTable::Holder> LockTable::GetHolders(FileId file) const {
+  auto it = locks_.find(file);
+  if (it == locks_.end()) return {};
+  return it->second;
+}
+
+std::vector<TxnId> LockTable::ConflictingHolders(FileId file, TxnId txn,
+                                                 LockMode mode) const {
+  std::vector<TxnId> result;
+  auto it = locks_.find(file);
+  if (it == locks_.end()) return result;
+  for (const Holder& h : it->second) {
+    if (h.txn != txn && !Compatible(h.mode, mode)) result.push_back(h.txn);
+  }
+  return result;
+}
+
+size_t LockTable::num_locked_files() const { return locks_.size(); }
+
+size_t LockTable::NumHeldBy(TxnId txn) const {
+  size_t count = 0;
+  for (const auto& [file, holders] : locks_) {
+    (void)file;
+    for (const Holder& h : holders) {
+      if (h.txn == txn) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,68 @@
+#ifndef WTPG_SCHED_LOCK_LOCK_TABLE_H_
+#define WTPG_SCHED_LOCK_LOCK_TABLE_H_
+
+#include <cstddef>
+
+#include <unordered_map>
+#include <vector>
+
+#include "model/lock_mode.h"
+#include "model/types.h"
+
+namespace wtpgsched {
+
+// File-granule lock table: holders per file (several S holders, or one X
+// holder). The table records who holds what; wait-queue policy lives in the
+// machine, and grant policy in the schedulers.
+//
+// ForceGrant() records a lock regardless of compatibility — NODC uses it to
+// model "grant any lock at any time" while release bookkeeping still works.
+class LockTable {
+ public:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+
+  LockTable() = default;
+
+  // True when `txn` could be granted `mode` on `file` right now: every other
+  // current holder's mode must be compatible. A transaction's own held lock
+  // never conflicts with its upgrade request (upgrade succeeds if no other
+  // holder conflicts with the requested mode).
+  bool CanGrant(FileId file, TxnId txn, LockMode mode) const;
+
+  // Records the grant (or upgrade). Requires CanGrant().
+  void Grant(FileId file, TxnId txn, LockMode mode);
+
+  // Records the grant without any compatibility check (NODC).
+  void ForceGrant(FileId file, TxnId txn, LockMode mode);
+
+  // Releases all locks held by `txn`; returns the affected files.
+  std::vector<FileId> ReleaseAll(TxnId txn);
+
+  // True if `txn` holds a lock on `file` at least as strong as `mode`.
+  bool HoldsSufficient(FileId file, TxnId txn, LockMode mode) const;
+
+  bool Holds(FileId file, TxnId txn) const;
+
+  // Current holders of `file` (empty vector if unlocked).
+  std::vector<Holder> GetHolders(FileId file) const;
+
+  // Holders (other than `txn`) whose mode conflicts with `mode`.
+  std::vector<TxnId> ConflictingHolders(FileId file, TxnId txn,
+                                        LockMode mode) const;
+
+  // Number of files currently locked by anyone.
+  size_t num_locked_files() const;
+  // Number of locks held by `txn`.
+  size_t NumHeldBy(TxnId txn) const;
+
+ private:
+  // Holder lists are tiny (bounded by active transactions); linear scans.
+  std::unordered_map<FileId, std::vector<Holder>> locks_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_LOCK_LOCK_TABLE_H_

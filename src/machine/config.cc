@@ -1,0 +1,72 @@
+#include "machine/config.h"
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNodc:
+      return "NODC";
+    case SchedulerKind::kAsl:
+      return "ASL";
+    case SchedulerKind::kC2pl:
+      return "C2PL";
+    case SchedulerKind::kOpt:
+      return "OPT";
+    case SchedulerKind::kGow:
+      return "GOW";
+    case SchedulerKind::kLow:
+      return "LOW";
+    case SchedulerKind::kLowLb:
+      return "LOW-LB";
+    case SchedulerKind::kTwoPl:
+      return "2PL";
+  }
+  return "?";
+}
+
+Status SimConfig::Validate() const {
+  if (num_nodes <= 0) return Status::InvalidArgument("num_nodes must be > 0");
+  if (num_files <= 0) return Status::InvalidArgument("num_files must be > 0");
+  if (dd < 1 || dd > num_nodes) {
+    return Status::InvalidArgument(
+        StrCat("dd must be in [1, num_nodes]; got ", dd));
+  }
+  if (mpl < 1) return Status::InvalidArgument("mpl must be >= 1");
+  if (arrival_rate_tps <= 0.0) {
+    return Status::InvalidArgument("arrival_rate_tps must be > 0");
+  }
+  if (obj_time_ms <= 0.0) {
+    return Status::InvalidArgument("obj_time_ms must be > 0");
+  }
+  for (double cost : {msg_time_ms, sot_time_ms, cot_time_ms, dd_time_ms,
+                      kwtpg_time_ms, chain_time_ms, top_time_ms}) {
+    if (cost < 0.0) return Status::InvalidArgument("costs must be >= 0");
+  }
+  if (low_k < 0) return Status::InvalidArgument("low_k must be >= 0");
+  if (error_sigma < 0.0) {
+    return Status::InvalidArgument("error_sigma must be >= 0");
+  }
+  if (horizon_ms <= 0.0) {
+    return Status::InvalidArgument("horizon_ms must be > 0");
+  }
+  if (warmup_ms < 0.0 || warmup_ms >= horizon_ms) {
+    return Status::InvalidArgument("warmup_ms must be in [0, horizon_ms)");
+  }
+  if (retry_fallback_ms < 0.0) {
+    return Status::InvalidArgument("retry_fallback_ms must be >= 0");
+  }
+  if (quantum_objects < 0.0) {
+    return Status::InvalidArgument("quantum_objects must be >= 0");
+  }
+  if (timeline_sample_ms < 0.0) {
+    return Status::InvalidArgument("timeline_sample_ms must be >= 0");
+  }
+  if (restart_delay_ms < 0.0) {
+    return Status::InvalidArgument("restart_delay_ms must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,98 @@
+#ifndef WTPG_SCHED_MACHINE_CONFIG_H_
+#define WTPG_SCHED_MACHINE_CONFIG_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace wtpgsched {
+
+// Which concurrency-control scheduler drives the run (paper Section 4.2).
+enum class SchedulerKind {
+  kNodc,   // No data contention (upper bound).
+  kAsl,    // Atomic static locking.
+  kC2pl,   // Cautious two-phase locking (+M via mpl).
+  kOpt,    // Optimistic with backward validation.
+  kGow,    // Globally-optimized WTPG.
+  kLow,    // Locally-optimized WTPG, K-conflict.
+  kLowLb,  // Extension: LOW with load balancing.
+  kTwoPl,  // Traditional strict 2PL with deadlock detection (baseline).
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+// Simulation parameters. Defaults reproduce Table 1 of the paper.
+struct SimConfig {
+  // --- Machine model ---
+  int num_nodes = 8;    // Data-processing nodes.
+  int num_files = 16;   // Locking granules.
+  int dd = 1;           // Degree of declustering (uniform over files).
+  // Multiprogramming level: admission refused while `mpl` transactions are
+  // active. Table 1 default is infinite; C2PL+M tunes it.
+  int mpl = std::numeric_limits<int>::max();
+
+  // --- Costs (milliseconds; Table 1) ---
+  double obj_time_ms = 1000.0;  // Scan time of 1 object at a DPN at DD=1.
+  double msg_time_ms = 2.0;     // CN CPU per message send/receive.
+  double sot_time_ms = 2.0;     // CN CPU per transaction startup.
+  double cot_time_ms = 7.0;     // CN CPU per commit (2PC coordination).
+  double dd_time_ms = 1.0;      // C2PL deadlock prediction per decision.
+  double kwtpg_time_ms = 10.0;  // LOW: one E() evaluation.
+  double chain_time_ms = 30.0;  // GOW: optimized order computation.
+  double top_time_ms = 5.0;     // GOW: chain-form test.
+
+  // --- Scheduler selection ---
+  SchedulerKind scheduler = SchedulerKind::kLow;
+  int low_k = 2;                    // LOW's K (paper uses K=2).
+  bool low_charge_per_eval = true;  // See DESIGN.md substitution notes.
+  double low_lb_weight = 1.0;       // LOW-LB load-penalty weight.
+
+  // --- Workload ---
+  double arrival_rate_tps = 1.0;
+  double error_sigma = 0.0;  // Experiment 3 declaration-error stddev.
+  // Stop generating arrivals after this many transactions (0 = unlimited).
+  uint64_t max_arrivals = 0;
+
+  // --- Run control ---
+  double horizon_ms = 2'000'000;  // Paper: 2,000,000 clocks of 1 ms.
+  double warmup_ms = 0;           // Completions before this are excluded.
+  // Delayed requests are retried on every commit; this fallback timer
+  // guarantees liveness if no commit is pending ("submitted ... after some
+  // delay"). 0 disables it.
+  double retry_fallback_ms = 1000.0;
+  // For schedulers whose admission test costs CN CPU (GOW's chain-form
+  // test), at most this many parked startups are retried per wake event;
+  // failures requeue at the back, so the pool is covered round-robin.
+  // Without the cap, a supersaturated waiting pool retested on every commit
+  // starves the control node (see DESIGN.md). 0 = unlimited.
+  int admission_retry_limit = 16;
+  // OPT: a transaction aborted at validation restarts after this delay
+  // (immediate restarts re-conflict and overload the data nodes; classic
+  // CC-performance models restart after a think-time, e.g. Agrawal et al.).
+  double restart_delay_ms = 5000.0;
+  // OPT validation scope: when true (default) a committing transaction
+  // aborts if *any* file it accessed was overwritten by a concurrent
+  // commit (write-write counts); when false, only reads are validated
+  // (pure Kung-Robinson). See DESIGN.md — the paper's Experiment-2 numbers
+  // are incompatible with read-only validation.
+  bool opt_validate_writes = true;
+  // Round-robin service quantum at the DPNs, in objects. 0 selects the
+  // paper's rule of 1/DD objects per turn (Section 4.1, item 4).
+  double quantum_objects = 0.0;
+  // When > 0, sample a system-state timeline every this many milliseconds
+  // (Machine::timeline()).
+  double timeline_sample_ms = 0.0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+
+  SimTime horizon() const { return MsToTime(horizon_ms); }
+  SimTime warmup() const { return MsToTime(warmup_ms); }
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_MACHINE_CONFIG_H_

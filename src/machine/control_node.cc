@@ -1,0 +1,3 @@
+#include "machine/control_node.h"
+
+// Header-only; this TU exists for symmetry and future growth.

@@ -1,0 +1,27 @@
+#include "machine/data_placement.h"
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+DataPlacement::DataPlacement(int num_nodes, int num_files, int dd)
+    : num_nodes_(num_nodes), num_files_(num_files), dd_(dd) {
+  WTPG_CHECK_GT(num_nodes_, 0);
+  WTPG_CHECK_GT(num_files_, 0);
+  WTPG_CHECK_GE(dd_, 1);
+  WTPG_CHECK_LE(dd_, num_nodes_);
+}
+
+NodeId DataPlacement::HomeNode(FileId file) const {
+  WTPG_CHECK_GE(file, 0);
+  WTPG_CHECK_LT(file, num_files_);
+  return file % num_nodes_;
+}
+
+NodeId DataPlacement::NodeFor(FileId file, int cohort) const {
+  WTPG_CHECK_GE(cohort, 0);
+  WTPG_CHECK_LT(cohort, dd_);
+  return (HomeNode(file) + cohort) % num_nodes_;
+}
+
+}  // namespace wtpgsched

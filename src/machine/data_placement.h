@@ -1,0 +1,32 @@
+#ifndef WTPG_SCHED_MACHINE_DATA_PLACEMENT_H_
+#define WTPG_SCHED_MACHINE_DATA_PLACEMENT_H_
+
+#include "model/types.h"
+
+namespace wtpgsched {
+
+// Data placement (paper Section 4.1, item 1): file f lives at home node
+// (f mod NumNodes); declustered over DD nodes, its partitions occupy nodes
+// home, home+1, ..., home+DD-1 (mod NumNodes).
+class DataPlacement {
+ public:
+  DataPlacement(int num_nodes, int num_files, int dd);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_files() const { return num_files_; }
+  int dd() const { return dd_; }
+
+  NodeId HomeNode(FileId file) const;
+
+  // Node holding partition `cohort` (0-based, < dd) of `file`.
+  NodeId NodeFor(FileId file, int cohort) const;
+
+ private:
+  int num_nodes_;
+  int num_files_;
+  int dd_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_MACHINE_DATA_PLACEMENT_H_

@@ -1,0 +1,37 @@
+#include "machine/dpn.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+Dpn::Dpn(Simulator* sim, NodeId id, double obj_time_ms)
+    : id_(id),
+      obj_time_ms_(obj_time_ms),
+      server_(sim, StrCat("DPN", id)) {
+  WTPG_CHECK_GT(obj_time_ms_, 0.0);
+}
+
+void Dpn::SubmitCohort(double objects, double quantum_objects,
+                       RoundRobinServer::Callback done) {
+  WTPG_CHECK_GE(objects, 0.0);
+  WTPG_CHECK_GT(quantum_objects, 0.0);
+  const SimTime service = MsToTime(objects * obj_time_ms_);
+  const SimTime quantum = std::max<SimTime>(
+      MsToTime(quantum_objects * obj_time_ms_), 1);
+  submitted_objects_ += objects;
+  server_.Submit(service, quantum,
+                 [this, objects, cb = std::move(done)]() {
+                   completed_objects_ += objects;
+                   if (cb) cb();
+                 });
+}
+
+double Dpn::BacklogObjects() const {
+  return submitted_objects_ - completed_objects_;
+}
+
+}  // namespace wtpgsched

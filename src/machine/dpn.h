@@ -1,0 +1,47 @@
+#ifndef WTPG_SCHED_MACHINE_DPN_H_
+#define WTPG_SCHED_MACHINE_DPN_H_
+
+#include <string>
+
+#include "model/types.h"
+#include "sim/round_robin_server.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// A data-processing node (paper Section 4.1, item 3): scans objects at
+// ObjTime per object, serving resident cohorts round-robin. When a file is
+// declustered DD ways, each round-robin turn scans 1/DD object
+// (Section 4.1, item 4).
+class Dpn {
+ public:
+  Dpn(Simulator* sim, NodeId id, double obj_time_ms);
+
+  NodeId id() const { return id_; }
+
+  // Runs a cohort scanning `objects` (possibly fractional) with a
+  // round-robin quantum of `quantum_objects`; `done` fires at completion.
+  void SubmitCohort(double objects, double quantum_objects,
+                    RoundRobinServer::Callback done);
+
+  // Objects of scan work currently queued or in progress.
+  double BacklogObjects() const;
+
+  size_t active_cohorts() const { return server_.active_jobs(); }
+  double Utilization() const { return server_.Utilization(); }
+  SimTime busy_time() const { return server_.busy_time(); }
+  uint64_t cohorts_completed() const { return server_.jobs_completed(); }
+
+ private:
+  NodeId id_;
+  double obj_time_ms_;
+  RoundRobinServer server_;
+  // Work accounting for BacklogObjects(): submitted minus completed.
+  double submitted_objects_ = 0.0;
+  double completed_objects_ = 0.0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_MACHINE_DPN_H_

@@ -1,0 +1,396 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sched/low_lb.h"
+#include "sched/scheduler_factory.h"
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+Machine::Machine(const SimConfig& config, Pattern pattern)
+    : Machine(config, std::move(pattern), CreateScheduler(config)) {}
+
+Machine::Machine(const SimConfig& config, std::vector<WeightedPattern> mix)
+    : Machine(config,
+              WorkloadGenerator(std::move(mix), config.arrival_rate_tps,
+                                config.dd, ErrorModel{config.error_sigma},
+                                config.seed),
+              CreateScheduler(config)) {}
+
+Machine::Machine(const SimConfig& config, Pattern pattern,
+                 std::unique_ptr<Scheduler> scheduler)
+    : Machine(config,
+              WorkloadGenerator(std::move(pattern), config.arrival_rate_tps,
+                                config.dd, ErrorModel{config.error_sigma},
+                                config.seed),
+              std::move(scheduler)) {}
+
+Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
+                 std::unique_ptr<Scheduler> scheduler)
+    : config_(config),
+      sim_(),
+      placement_(config.num_nodes, config.num_files, config.dd),
+      workload_(std::move(workload)),
+      scheduler_(std::move(scheduler)),
+      cn_(&sim_, config),
+      stats_(config.warmup(), config.horizon()) {
+  const Status valid = config.Validate();
+  WTPG_CHECK(valid.ok()) << valid.ToString();
+  WTPG_CHECK_LT(workload_.MaxFileId(), config.num_files)
+      << "pattern references files beyond num_files";
+  dpns_.reserve(static_cast<size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    dpns_.push_back(std::make_unique<Dpn>(&sim_, i, config.obj_time_ms));
+  }
+  if (auto* low_lb = dynamic_cast<LowLbScheduler*>(scheduler_.get())) {
+    low_lb->set_load_probe(
+        [this](FileId file) { return BacklogObjectsForFile(file); });
+  }
+}
+
+double Machine::BacklogObjectsForFile(FileId file) const {
+  double total = 0.0;
+  for (int c = 0; c < placement_.dd(); ++c) {
+    total += dpns_[static_cast<size_t>(placement_.NodeFor(file, c))]
+                 ->BacklogObjects();
+  }
+  return total / placement_.dd();
+}
+
+Transaction& Machine::GetTxn(TxnId id) {
+  auto it = txns_.find(id);
+  WTPG_CHECK(it != txns_.end()) << "unknown T" << id;
+  return *it->second;
+}
+
+RunStats Machine::Run() {
+  WTPG_CHECK(!ran_) << "Machine::Run() called twice";
+  ran_ = true;
+  ScheduleNextArrival();
+  ScheduleTimelineSample();
+  sim_.RunUntil(config_.horizon());
+
+  double mean_util = 0.0;
+  double max_util = 0.0;
+  for (const auto& dpn : dpns_) {
+    mean_util += dpn->Utilization();
+    max_util = std::max(max_util, dpn->Utilization());
+  }
+  mean_util /= static_cast<double>(dpns_.size());
+  return stats_.Finalize(cn_.Utilization(), mean_util, max_util,
+                         in_flight());
+}
+
+// --- Arrival ---
+
+void Machine::ScheduleNextArrival() {
+  if (config_.max_arrivals > 0 &&
+      arrivals_generated_ >= config_.max_arrivals) {
+    return;
+  }
+  sim_.ScheduleAfter(workload_.NextInterarrival(), [this] { OnArrival(); });
+}
+
+void Machine::OnArrival() {
+  ++arrivals_generated_;
+  std::unique_ptr<Transaction> txn = workload_.NextTransaction();
+  const TxnId id = txn->id();
+  txn->arrival_time = sim_.Now();
+  txns_.emplace(id, std::move(txn));
+  stats_.RecordArrival();
+  RequestStartup(id, /*charge_sot=*/true);
+  ScheduleNextArrival();
+}
+
+// --- Decisions ---
+
+void Machine::RequestStartup(TxnId id, bool charge_sot) {
+  if (!pending_decision_.insert(id).second) return;
+  Transaction& txn = GetTxn(id);
+  const SimTime cost = scheduler_->StartupDecisionCost(txn);
+  if (charge_sot) {
+    cn_.SubmitStartup(cost, [this, id] { OnStartupDecision(id); });
+  } else {
+    cn_.SubmitWork(cost, [this, id] { OnStartupDecision(id); });
+  }
+}
+
+void Machine::OnStartupDecision(TxnId id) {
+  pending_decision_.erase(id);
+  Transaction& txn = GetTxn(id);
+  scheduler_->OnClock(sim_.Now());
+  const Decision decision = scheduler_->OnStartup(txn);
+  switch (decision.kind) {
+    case DecisionKind::kGrant:
+      txn.set_state(Transaction::State::kActive);
+      txn.admit_time = sim_.Now();
+      BeginStep(id);
+      break;
+    case DecisionKind::kBlock:
+    case DecisionKind::kDelay:
+      ParkAdmission(id);
+      break;
+    case DecisionKind::kReject:
+      txn.start_rejections += 1;
+      stats_.RecordStartRejection();
+      ParkAdmission(id);
+      break;
+    case DecisionKind::kAbortRestart:
+      WTPG_CHECK(false) << "startup cannot abort-restart";
+      break;
+  }
+}
+
+void Machine::RequestLock(TxnId id) {
+  if (!pending_decision_.insert(id).second) return;
+  Transaction& txn = GetTxn(id);
+  const SimTime cost = scheduler_->LockDecisionCost(txn, txn.current_step());
+  cn_.SubmitWork(cost, [this, id] { OnLockDecision(id); });
+}
+
+void Machine::OnLockDecision(TxnId id) {
+  pending_decision_.erase(id);
+  Transaction& txn = GetTxn(id);
+  scheduler_->OnClock(sim_.Now());
+  const int step = txn.current_step();
+  const Decision decision = scheduler_->OnLockRequest(txn, step);
+  switch (decision.kind) {
+    case DecisionKind::kGrant:
+      DispatchStep(id);
+      // A grant determines new precedence orders, which can unblock delayed
+      // requests (their E() values and consistency tests change).
+      if (scheduler_->RetryDelayedOnGrant()) RetryDelayed();
+      break;
+    case DecisionKind::kBlock:
+      txn.blocked_count += 1;
+      stats_.RecordBlocked();
+      ParkBlocked(id, decision.file);
+      break;
+    case DecisionKind::kDelay:
+      txn.delayed_count += 1;
+      stats_.RecordDelayed();
+      ParkDelayed(id);
+      break;
+    case DecisionKind::kAbortRestart: {
+      // Deadlock victim (2PL): all work of this incarnation is wasted; the
+      // transaction restarts from scratch after the restart delay.
+      stats_.RecordRestart();
+      const std::vector<FileId> released = scheduler_->OnAbort(txn);
+      txn.ResetForRestart();
+      sim_.ScheduleAfter(MsToTime(config_.restart_delay_ms), [this, id] {
+        RequestStartup(id, /*charge_sot=*/true);
+      });
+      for (FileId file : released) WakeFileWaiters(file);
+      RetryDelayed();
+      RetryAdmissions();
+      break;
+    }
+    case DecisionKind::kReject:
+      WTPG_CHECK(false) << "lock requests cannot be rejected";
+      break;
+  }
+}
+
+// --- Execution ---
+
+void Machine::BeginStep(TxnId id) {
+  Transaction& txn = GetTxn(id);
+  if (txn.AllStepsDone()) {
+    RequestCommit(id);
+    return;
+  }
+  const int step = txn.current_step();
+  const StepSpec& spec = txn.step(step);
+  if (txn.NeedsLockAt(step) &&
+      !scheduler_->lock_table().HoldsSufficient(spec.file, id,
+                                                txn.RequestModeAt(step))) {
+    RequestLock(id);
+  } else {
+    DispatchStep(id);
+  }
+}
+
+void Machine::DispatchStep(TxnId id) {
+  Transaction& txn = GetTxn(id);
+  txn.set_state(Transaction::State::kExecuting);
+  // CN sends the transaction to the file's home node.
+  cn_.SubmitMessage([this, id] { StartCohorts(id); });
+}
+
+void Machine::StartCohorts(TxnId id) {
+  Transaction& txn = GetTxn(id);
+  const StepSpec& spec = txn.step(txn.current_step());
+  // Log the data access. Reads take effect as the scan runs. Writes do too
+  // under locking schedulers (in-place, protected by the X lock); under OPT
+  // they go to private copies and are logged at commit instead.
+  if (spec.access == LockMode::kShared || !scheduler_->DefersWrites()) {
+    log_.RecordAccess(id, txn.restarts, spec.file, spec.access, sim_.Now());
+  }
+  const int dd = placement_.dd();
+  const double cohort_objects = spec.actual_cost / dd;
+  const double quantum_objects =
+      config_.quantum_objects > 0.0 ? config_.quantum_objects : 1.0 / dd;
+  cohorts_remaining_[id] = dd;
+  for (int c = 0; c < dd; ++c) {
+    Dpn& dpn = *dpns_[static_cast<size_t>(placement_.NodeFor(spec.file, c))];
+    dpn.SubmitCohort(cohort_objects, quantum_objects,
+                     [this, id] { OnCohortDone(id); });
+  }
+}
+
+void Machine::OnCohortDone(TxnId id) {
+  auto it = cohorts_remaining_.find(id);
+  WTPG_CHECK(it != cohorts_remaining_.end());
+  if (--it->second > 0) return;
+  cohorts_remaining_.erase(it);
+  // All cohorts joined at the home node; the transaction returns to CN.
+  cn_.SubmitMessage([this, id] { OnStepReturned(id); });
+}
+
+void Machine::OnStepReturned(TxnId id) {
+  Transaction& txn = GetTxn(id);
+  const int step = txn.current_step();
+  txn.AdvanceStep();
+  scheduler_->OnStepCompleted(txn, step);
+  BeginStep(id);
+}
+
+// --- Commit ---
+
+void Machine::RequestCommit(TxnId id) {
+  Transaction& txn = GetTxn(id);
+  txn.set_state(Transaction::State::kCommitting);
+  cn_.SubmitCommit([this, id] { OnCommitDone(id); });
+}
+
+void Machine::OnCommitDone(TxnId id) {
+  Transaction& txn = GetTxn(id);
+  scheduler_->OnClock(sim_.Now());
+  if (!scheduler_->ValidateAtCommit(txn)) {
+    // OPT certification failure: abort and restart from scratch after the
+    // configured delay.
+    stats_.RecordRestart();
+    scheduler_->OnAbort(txn);
+    txn.ResetForRestart();
+    sim_.ScheduleAfter(MsToTime(config_.restart_delay_ms),
+                       [this, id] { RequestStartup(id, /*charge_sot=*/true); });
+    return;
+  }
+  if (scheduler_->DefersWrites()) {
+    // Deferred updates are installed now.
+    for (const StepSpec& spec : txn.steps()) {
+      if (spec.access == LockMode::kExclusive) {
+        log_.RecordAccess(id, txn.restarts, spec.file, spec.access,
+                          sim_.Now());
+      }
+    }
+  }
+  log_.RecordCommit(id, txn.restarts);
+  const std::vector<FileId> released = scheduler_->OnCommit(txn);
+  txn.set_state(Transaction::State::kCommitted);
+  txn.completion_time = sim_.Now();
+  stats_.RecordCompletion(txn, sim_.Now());
+  txns_.erase(id);
+
+  for (FileId file : released) WakeFileWaiters(file);
+  RetryDelayed();
+  RetryAdmissions();
+}
+
+// --- Parked-request retry ---
+
+void Machine::ParkAdmission(TxnId id) {
+  GetTxn(id).set_state(Transaction::State::kWaitingStart);
+  admission_wait_.push_back(id);
+  EnsureFallbackTimer();
+}
+
+void Machine::ParkBlocked(TxnId id, FileId file) {
+  WTPG_CHECK_NE(file, kInvalidFile);
+  GetTxn(id).set_state(Transaction::State::kWaitingLock);
+  file_waiters_[file].push_back(id);
+}
+
+void Machine::ParkDelayed(TxnId id) {
+  GetTxn(id).set_state(Transaction::State::kWaitingLock);
+  delayed_.push_back(id);
+  EnsureFallbackTimer();
+}
+
+void Machine::WakeFileWaiters(FileId file) {
+  auto it = file_waiters_.find(file);
+  if (it == file_waiters_.end()) return;
+  std::deque<TxnId> waiters = std::move(it->second);
+  file_waiters_.erase(it);
+  for (TxnId id : waiters) RequestLock(id);
+}
+
+void Machine::RetryDelayed() {
+  if (delayed_.empty()) return;
+  std::deque<TxnId> waiters = std::move(delayed_);
+  delayed_.clear();
+  for (TxnId id : waiters) RequestLock(id);
+}
+
+void Machine::RetryAdmissions() {
+  if (admission_wait_.empty()) return;
+  size_t budget = admission_wait_.size();
+  if (scheduler_->CostlyAdmission() && config_.admission_retry_limit > 0) {
+    budget = std::min(budget,
+                      static_cast<size_t>(config_.admission_retry_limit));
+  }
+  for (size_t i = 0; i < budget && !admission_wait_.empty(); ++i) {
+    const TxnId id = admission_wait_.front();
+    admission_wait_.pop_front();
+    // Failures re-park at the back, rotating the pool across wake events.
+    RequestStartup(id, /*charge_sot=*/false);
+  }
+  if (!admission_wait_.empty()) EnsureFallbackTimer();
+}
+
+// --- Timeline sampling ---
+
+void Machine::ScheduleTimelineSample() {
+  if (config_.timeline_sample_ms <= 0.0) return;
+  const SimTime period = MsToTime(config_.timeline_sample_ms);
+  if (sim_.Now() + period > config_.horizon()) return;
+  sim_.ScheduleAfter(period, [this] { TakeTimelineSample(); });
+}
+
+void Machine::TakeTimelineSample() {
+  TimelineRecorder::Sample sample;
+  sample.time = sim_.Now();
+  sample.in_flight = txns_.size();
+  sample.active = scheduler_->num_active();
+  uint64_t parked = admission_wait_.size() + delayed_.size();
+  for (const auto& [file, waiters] : file_waiters_) {
+    (void)file;
+    parked += waiters.size();
+  }
+  sample.parked = parked;
+  sample.cn_queue = static_cast<double>(cn_.queue_length());
+  double backlog = 0.0;
+  for (const auto& dpn : dpns_) backlog += dpn->BacklogObjects();
+  sample.dpn_backlog_objects = backlog;
+  sample.completions = stats_.completions_so_far();
+  timeline_.Record(sample);
+  ScheduleTimelineSample();
+}
+
+void Machine::EnsureFallbackTimer() {
+  if (fallback_timer_active_ || config_.retry_fallback_ms <= 0.0) return;
+  fallback_timer_active_ = true;
+  sim_.ScheduleAfter(MsToTime(config_.retry_fallback_ms), [this] {
+    fallback_timer_active_ = false;
+    const bool had_parked = !delayed_.empty() || !admission_wait_.empty();
+    if (had_parked) {
+      RetryDelayed();
+      RetryAdmissions();
+      EnsureFallbackTimer();
+    }
+  });
+}
+
+}  // namespace wtpgsched

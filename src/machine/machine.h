@@ -1,0 +1,148 @@
+#ifndef WTPG_SCHED_MACHINE_MACHINE_H_
+#define WTPG_SCHED_MACHINE_MACHINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/schedule_log.h"
+#include "machine/config.h"
+#include "machine/control_node.h"
+#include "machine/data_placement.h"
+#include "machine/dpn.h"
+#include "metrics/stats.h"
+#include "metrics/timeline.h"
+#include "model/transaction.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace wtpgsched {
+
+// The simulated Shared-Nothing machine (paper Fig. 1 / Section 4.1): one
+// control node plus NumNodes data-processing nodes, driven by a Poisson
+// stream of batch transactions and one concurrency-control scheduler.
+//
+// Execution of a transaction:
+//   arrival -> startup decision at CN (sot_time + scheduler cost) ->
+//   per step: lock decision at CN (scheduler cost) when a new lock is
+//   needed; on grant, CN sends the txn to the file's home node (msgtime),
+//   DD cohorts scan in round-robin on the DPNs, the txn returns to CN
+//   (msgtime) and issues its next step -> commit at CN (cot_time), locks
+//   released, parked requests retried.
+//
+// Parked requests: blocked requests queue FIFO per granule and retry when
+// the granule is released; delayed requests and refused admissions retry on
+// every commit (and on grants, and after the fallback delay) — see
+// DESIGN.md, "Substitutions".
+class Machine {
+ public:
+  Machine(const SimConfig& config, Pattern pattern);
+
+  // Weighted pattern mix (see examples/mixed_workload.cpp).
+  Machine(const SimConfig& config, std::vector<WeightedPattern> mix);
+
+  // Injects a custom scheduler instead of building one from
+  // config.scheduler (see examples/custom_scheduler.cpp).
+  Machine(const SimConfig& config, Pattern pattern,
+          std::unique_ptr<Scheduler> scheduler);
+
+  // Fully general form: any workload source, any scheduler.
+  Machine(const SimConfig& config, WorkloadGenerator workload,
+          std::unique_ptr<Scheduler> scheduler);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Runs the simulation to config.horizon() and returns aggregate stats.
+  // Call at most once.
+  RunStats Run();
+
+  Simulator& simulator() { return sim_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const DataPlacement& placement() const { return placement_; }
+  const ScheduleLog& schedule_log() const { return log_; }
+  const SimConfig& config() const { return config_; }
+
+  // Time-series samples (empty unless config.timeline_sample_ms > 0).
+  const TimelineRecorder& timeline() const { return timeline_; }
+
+  // Scan backlog (objects) over the nodes holding `file`'s partitions
+  // (LOW-LB load probe).
+  double BacklogObjectsForFile(FileId file) const;
+
+  // Transactions arrived but not yet committed.
+  size_t in_flight() const { return txns_.size(); }
+
+ private:
+  Transaction& GetTxn(TxnId id);
+
+  // --- Arrival ---
+  void ScheduleNextArrival();
+  void OnArrival();
+
+  // --- Decisions (CN CPU jobs) ---
+  // Submits a startup decision; `charge_sot` on first attempt of an
+  // incarnation only.
+  void RequestStartup(TxnId id, bool charge_sot);
+  void OnStartupDecision(TxnId id);
+  void RequestLock(TxnId id);
+  void OnLockDecision(TxnId id);
+
+  // --- Execution ---
+  void BeginStep(TxnId id);
+  void DispatchStep(TxnId id);   // CN send message, then cohorts.
+  void StartCohorts(TxnId id);
+  void OnCohortDone(TxnId id);
+  void OnStepReturned(TxnId id);  // CN receive message done.
+
+  // --- Commit ---
+  void RequestCommit(TxnId id);
+  void OnCommitDone(TxnId id);
+
+  // --- Parked-request retry ---
+  void ParkAdmission(TxnId id);
+  void ParkBlocked(TxnId id, FileId file);
+  void ParkDelayed(TxnId id);
+  void WakeFileWaiters(FileId file);
+  void RetryDelayed();
+  void RetryAdmissions();
+  void EnsureFallbackTimer();
+
+  // --- Timeline sampling ---
+  void ScheduleTimelineSample();
+  void TakeTimelineSample();
+
+  SimConfig config_;
+  Simulator sim_;
+  DataPlacement placement_;
+  WorkloadGenerator workload_;
+  std::unique_ptr<Scheduler> scheduler_;
+  ControlNode cn_;
+  std::vector<std::unique_ptr<Dpn>> dpns_;
+  StatsCollector stats_;
+  ScheduleLog log_;
+  TimelineRecorder timeline_;
+
+  std::map<TxnId, std::unique_ptr<Transaction>> txns_;
+  // Parked transactions. A parked txn is in exactly one list; a txn with a
+  // decision job in flight is in pending_decision_ instead.
+  std::deque<TxnId> admission_wait_;
+  std::unordered_map<FileId, std::deque<TxnId>> file_waiters_;
+  std::deque<TxnId> delayed_;
+  std::unordered_set<TxnId> pending_decision_;
+
+  // Cohorts still running for the executing step of each transaction.
+  std::unordered_map<TxnId, int> cohorts_remaining_;
+
+  uint64_t arrivals_generated_ = 0;
+  bool fallback_timer_active_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_MACHINE_MACHINE_H_

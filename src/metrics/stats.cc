@@ -1,0 +1,75 @@
+#include "metrics/stats.h"
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+std::string RunStats::ToJson() const {
+  JsonWriter json;
+  json.Add("arrivals", arrivals)
+      .Add("completions", completions)
+      .Add("completions_measured", completions_measured)
+      .Add("mean_response_s", mean_response_s)
+      .Add("median_response_s", median_response_s)
+      .Add("p95_response_s", p95_response_s)
+      .Add("throughput_tps", throughput_tps)
+      .Add("restarts", restarts)
+      .Add("blocked", blocked)
+      .Add("delayed", delayed)
+      .Add("start_rejections", start_rejections)
+      .Add("cn_utilization", cn_utilization)
+      .Add("mean_dpn_utilization", mean_dpn_utilization)
+      .Add("max_dpn_utilization", max_dpn_utilization)
+      .Add("sim_seconds", sim_seconds)
+      .Add("in_flight_at_end", in_flight_at_end);
+  return json.ToString();
+}
+
+StatsCollector::StatsCollector(SimTime warmup, SimTime horizon)
+    : warmup_(warmup), horizon_(horizon) {
+  WTPG_CHECK_GE(warmup_, 0);
+  WTPG_CHECK_GT(horizon_, warmup_);
+}
+
+void StatsCollector::RecordCompletion(const Transaction& txn, SimTime now) {
+  ++stats_.completions;
+  if (now >= warmup_) {
+    ++stats_.completions_measured;
+    const double response_s = TimeToSeconds(now - txn.arrival_time);
+    window_responses_.Add(response_s);
+    class_responses_[txn.workload_class].Add(response_s);
+  }
+}
+
+RunStats StatsCollector::Finalize(double cn_utilization,
+                                  double mean_dpn_utilization,
+                                  double max_dpn_utilization,
+                                  uint64_t in_flight) const {
+  RunStats result = stats_;
+  result.mean_response_s = window_responses_.Mean();
+  result.median_response_s = window_responses_.Median();
+  result.p95_response_s = window_responses_.Percentile(95.0);
+  const double window_s = TimeToSeconds(horizon_ - warmup_);
+  result.throughput_tps =
+      window_s > 0.0
+          ? static_cast<double>(result.completions_measured) / window_s
+          : 0.0;
+  result.cn_utilization = cn_utilization;
+  result.mean_dpn_utilization = mean_dpn_utilization;
+  result.max_dpn_utilization = max_dpn_utilization;
+  result.sim_seconds = TimeToSeconds(horizon_);
+  result.in_flight_at_end = in_flight;
+  for (const auto& [workload_class, histogram] : class_responses_) {
+    RunStats::ClassStats cs;
+    cs.workload_class = workload_class;
+    cs.completions = histogram.count();
+    cs.mean_response_s = histogram.Mean();
+    cs.median_response_s = histogram.Median();
+    cs.p95_response_s = histogram.Percentile(95.0);
+    result.per_class.push_back(cs);
+  }
+  return result;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,85 @@
+#ifndef WTPG_SCHED_METRICS_STATS_H_
+#define WTPG_SCHED_METRICS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/transaction.h"
+#include "sim/time.h"
+#include "util/histogram.h"
+
+namespace wtpgsched {
+
+// Aggregate results of one simulation run (the paper's three metrics —
+// mean response time, throughput, and the ingredients of response-time
+// speedup — plus diagnostics).
+struct RunStats {
+  uint64_t arrivals = 0;
+  uint64_t completions = 0;           // All committed transactions.
+  uint64_t completions_measured = 0;  // Committed inside the window.
+  double mean_response_s = 0.0;       // Over the measurement window.
+  double median_response_s = 0.0;
+  double p95_response_s = 0.0;
+  double throughput_tps = 0.0;  // completions_measured / window length.
+  uint64_t restarts = 0;        // OPT validation failures.
+  uint64_t blocked = 0;         // Lock requests blocked.
+  uint64_t delayed = 0;         // Requests delayed by scheduling strategy.
+  uint64_t start_rejections = 0;  // Admission refusals (GOW chain test etc).
+  double cn_utilization = 0.0;
+  double mean_dpn_utilization = 0.0;
+  double max_dpn_utilization = 0.0;
+  double sim_seconds = 0.0;     // Total simulated horizon.
+  uint64_t in_flight_at_end = 0;  // Transactions not finished at horizon.
+
+  // One-line JSON object with every field (tooling output).
+  std::string ToJson() const;
+
+  // Per-workload-class breakdown (mixed workloads; one entry for
+  // single-pattern runs). Indexed positions match the mix order.
+  struct ClassStats {
+    int workload_class = 0;
+    uint64_t completions = 0;  // In the measurement window.
+    double mean_response_s = 0.0;
+    double median_response_s = 0.0;
+    double p95_response_s = 0.0;
+  };
+  std::vector<ClassStats> per_class;
+};
+
+// Collects per-transaction outcomes during a run. The measurement window is
+// [warmup, horizon]: completions stamped before warmup are excluded from
+// response-time and throughput figures (the paper uses warmup 0).
+class StatsCollector {
+ public:
+  StatsCollector(SimTime warmup, SimTime horizon);
+
+  void RecordArrival() { ++stats_.arrivals; }
+  void RecordBlocked() { ++stats_.blocked; }
+  void RecordDelayed() { ++stats_.delayed; }
+  void RecordStartRejection() { ++stats_.start_rejections; }
+  void RecordRestart() { ++stats_.restarts; }
+
+  void RecordCompletion(const Transaction& txn, SimTime now);
+
+  uint64_t completions_so_far() const { return stats_.completions; }
+
+  // Fills in derived figures; utilizations/in-flight are supplied by the
+  // machine.
+  RunStats Finalize(double cn_utilization, double mean_dpn_utilization,
+                    double max_dpn_utilization, uint64_t in_flight) const;
+
+  const Histogram& response_times() const { return window_responses_; }
+
+ private:
+  SimTime warmup_;
+  SimTime horizon_;
+  RunStats stats_;
+  Histogram window_responses_;  // Seconds; completions in window only.
+  std::map<int, Histogram> class_responses_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_METRICS_STATS_H_

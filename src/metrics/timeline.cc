@@ -1,0 +1,33 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+uint64_t TimelineRecorder::PeakInFlight() const {
+  uint64_t peak = 0;
+  for (const Sample& s : samples_) peak = std::max(peak, s.in_flight);
+  return peak;
+}
+
+Status TimelineRecorder::WriteCsv(const std::string& path) const {
+  CsvWriter writer;
+  Status status = writer.Open(path);
+  if (!status.ok()) return status;
+  writer.WriteHeader({"time_s", "in_flight", "active", "parked", "cn_queue",
+                      "dpn_backlog_objects", "completions"});
+  for (const Sample& s : samples_) {
+    writer.WriteRow({FormatDouble(TimeToSeconds(s.time), 1),
+                     StrCat(s.in_flight), StrCat(s.active), StrCat(s.parked),
+                     FormatDouble(s.cn_queue, 1),
+                     FormatDouble(s.dpn_backlog_objects, 2),
+                     StrCat(s.completions)});
+  }
+  writer.Close();
+  return Status::Ok();
+}
+
+}  // namespace wtpgsched

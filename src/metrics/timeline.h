@@ -1,0 +1,45 @@
+#ifndef WTPG_SCHED_METRICS_TIMELINE_H_
+#define WTPG_SCHED_METRICS_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace wtpgsched {
+
+// Time-series samples of system state, recorded at a fixed period during a
+// run (opt-in via SimConfig::timeline_sample_ms). Useful for seeing
+// saturation onset, thrashing, and admission stalls that aggregate numbers
+// hide.
+class TimelineRecorder {
+ public:
+  struct Sample {
+    SimTime time = 0;
+    uint64_t in_flight = 0;        // Arrived, not yet committed.
+    uint64_t active = 0;           // Admitted by the scheduler.
+    uint64_t parked = 0;           // Blocked + delayed + admission-waiting.
+    double cn_queue = 0.0;         // Control-node queue length.
+    double dpn_backlog_objects = 0.0;  // Total scan backlog.
+    uint64_t completions = 0;      // Cumulative commits.
+  };
+
+  void Record(Sample sample) { samples_.push_back(sample); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  // Largest in-flight population seen.
+  uint64_t PeakInFlight() const;
+
+  // Writes "time_s,in_flight,active,parked,cn_queue,dpn_backlog,completions".
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_METRICS_TIMELINE_H_

@@ -1,0 +1,9 @@
+#include "model/lock_mode.h"
+
+namespace wtpgsched {
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kShared ? "S" : "X";
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,33 @@
+#ifndef WTPG_SCHED_MODEL_LOCK_MODE_H_
+#define WTPG_SCHED_MODEL_LOCK_MODE_H_
+
+namespace wtpgsched {
+
+// File-granule lock modes. Batches lock whole files: a reading step needs a
+// shared lock, a writing step an exclusive lock (paper Section 2, model 1).
+enum class LockMode {
+  kShared,
+  kExclusive,
+};
+
+// True when holding `held` and requesting `requested` on the same granule by
+// two different transactions is allowed (only S-S is compatible).
+constexpr bool Compatible(LockMode held, LockMode requested) {
+  return held == LockMode::kShared && requested == LockMode::kShared;
+}
+
+// True when the two modes conflict (at least one exclusive).
+constexpr bool Conflicts(LockMode a, LockMode b) { return !Compatible(a, b); }
+
+// Returns the stronger of two modes (X > S).
+constexpr LockMode Stronger(LockMode a, LockMode b) {
+  return (a == LockMode::kExclusive || b == LockMode::kExclusive)
+             ? LockMode::kExclusive
+             : LockMode::kShared;
+}
+
+const char* LockModeName(LockMode mode);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_MODEL_LOCK_MODE_H_

@@ -1,0 +1,106 @@
+#include "model/transaction.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+Transaction::Transaction(TxnId id, std::vector<StepSpec> steps)
+    : id_(id), steps_(std::move(steps)) {
+  WTPG_CHECK(!steps_.empty()) << "transaction with no steps";
+  for (int i = 0; i < num_steps(); ++i) {
+    const StepSpec& s = steps_[static_cast<size_t>(i)];
+    WTPG_CHECK_GE(s.actual_cost, 0.0);
+    WTPG_CHECK_GE(s.declared_cost, 0.0);
+    auto [it, inserted] = first_step_.emplace(s.file, i);
+    (void)it;
+    // The strongest lock mode this transaction ever needs on the file. The
+    // request mode of the first step must already cover every later access;
+    // workload patterns guarantee this (it models predeclared locking).
+    LockMode needed = Stronger(s.access, s.request_mode);
+    auto [mit, minserted] = lock_modes_.emplace(s.file, needed);
+    if (!minserted) mit->second = Stronger(mit->second, needed);
+    if (!inserted) {
+      // A later step on an already-locked file: the first request must have
+      // declared a mode covering this access.
+    }
+  }
+  for (const auto& [file, mode] : lock_modes_) {
+    const StepSpec& first = steps_[static_cast<size_t>(first_step_.at(file))];
+    WTPG_CHECK(Stronger(first.request_mode, mode) == first.request_mode)
+        << "step requesting " << LockModeName(first.request_mode) << " on file "
+        << file << " does not cover later " << LockModeName(mode) << " access";
+  }
+}
+
+int Transaction::FirstStepFor(FileId file) const {
+  auto it = first_step_.find(file);
+  return it == first_step_.end() ? -1 : it->second;
+}
+
+bool Transaction::NeedsLockAt(int i) const {
+  WTPG_CHECK_GE(i, 0);
+  WTPG_CHECK_LT(i, num_steps());
+  return FirstStepFor(steps_[static_cast<size_t>(i)].file) == i;
+}
+
+LockMode Transaction::RequestModeAt(int i) const {
+  WTPG_CHECK(NeedsLockAt(i));
+  return lock_modes_.at(steps_[static_cast<size_t>(i)].file);
+}
+
+bool Transaction::ConflictsWith(const Transaction& other) const {
+  // lock_modes_ maps are small (a handful of files); linear merge-scan.
+  for (const auto& [file, mode] : lock_modes_) {
+    auto it = other.lock_modes_.find(file);
+    if (it != other.lock_modes_.end() && Conflicts(mode, it->second)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Transaction::FirstConflictingStep(const Transaction& other) const {
+  int best = -1;
+  for (const auto& [file, mode] : lock_modes_) {
+    auto it = other.lock_modes_.find(file);
+    if (it == other.lock_modes_.end() || !Conflicts(mode, it->second)) continue;
+    const int step = FirstStepFor(file);
+    if (best == -1 || step < best) best = step;
+  }
+  return best;
+}
+
+double Transaction::DeclaredCostFrom(int from_step) const {
+  double total = 0.0;
+  for (int i = std::max(from_step, 0); i < num_steps(); ++i) {
+    total += steps_[static_cast<size_t>(i)].declared_cost;
+  }
+  return total;
+}
+
+void Transaction::AdvanceStep() {
+  WTPG_CHECK_LT(current_step_, num_steps());
+  ++current_step_;
+}
+
+void Transaction::ResetForRestart() {
+  current_step_ = 0;
+  state_ = State::kCreated;
+  ++restarts;
+}
+
+std::string Transaction::DebugString() const {
+  std::vector<std::string> parts;
+  for (const StepSpec& s : steps_) {
+    parts.push_back(Format("%s(%d:%.3g)",
+                           s.access == LockMode::kShared ? "r" : "w", s.file,
+                           s.actual_cost));
+  }
+  return StrCat("T", id_, "{", Join(parts, " -> "), "}");
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,21 @@
+#ifndef WTPG_SCHED_MODEL_TYPES_H_
+#define WTPG_SCHED_MODEL_TYPES_H_
+
+#include <cstdint>
+
+namespace wtpgsched {
+
+// Identifier types. Files are the locking granules (a "file" is a
+// partially-declustered relation or one subrange partition, per Section 2 of
+// the paper). Nodes are data-processing nodes.
+using TxnId = int64_t;
+using FileId = int32_t;
+using NodeId = int32_t;
+
+inline constexpr TxnId kInvalidTxn = -1;
+inline constexpr FileId kInvalidFile = -1;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_MODEL_TYPES_H_

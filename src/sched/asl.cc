@@ -1,0 +1,31 @@
+#include "sched/asl.h"
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+Decision AslScheduler::DecideStartup(Transaction& txn) {
+  for (const auto& [file, mode] : txn.lock_modes()) {
+    if (!lock_table_.CanGrant(file, txn.id(), mode)) {
+      // Wait until the whole lock set is simultaneously available; the
+      // machine retries on every commit.
+      return Decision{DecisionKind::kBlock, file};
+    }
+  }
+  return Decision{DecisionKind::kGrant, kInvalidFile};
+}
+
+void AslScheduler::AfterAdmit(Transaction& txn) {
+  for (const auto& [file, mode] : txn.lock_modes()) {
+    lock_table_.Grant(file, txn.id(), mode);
+  }
+}
+
+Decision AslScheduler::DecideLock(Transaction& txn, int step) {
+  // All locks were taken at startup; the machine never needs to ask.
+  WTPG_CHECK(false) << "ASL lock request for T" << txn.id() << " step "
+                    << step << " — locks are preclaimed";
+  return Decision{DecisionKind::kGrant, txn.step(step).file};
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,28 @@
+#ifndef WTPG_SCHED_SCHED_ASL_H_
+#define WTPG_SCHED_SCHED_ASL_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace wtpgsched {
+
+// Atomic Static Locking — "conservative two-phase locking" (paper Section
+// 4.2, refs [15][2]): a transaction acquires *all* its declared locks
+// atomically at startup or does not start at all. Deadlock-free and
+// rollback-free by construction; it avoids chains of blocking because a
+// started transaction is never blocked again.
+class AslScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "ASL"; }
+
+ protected:
+  Decision DecideStartup(Transaction& txn) override;
+  void AfterAdmit(Transaction& txn) override;
+
+  Decision DecideLock(Transaction& txn, int step) override;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SCHED_ASL_H_

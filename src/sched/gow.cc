@@ -1,0 +1,83 @@
+#include "sched/gow.h"
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+GowScheduler::GowScheduler(SimTime toptime, SimTime chaintime)
+    : toptime_(toptime), chaintime_(chaintime) {}
+
+SimTime GowScheduler::StartupDecisionCost(const Transaction& txn) const {
+  (void)txn;
+  return toptime_;
+}
+
+SimTime GowScheduler::LockDecisionCost(const Transaction& txn,
+                                       int step) const {
+  (void)txn;
+  (void)step;
+  return chaintime_;
+}
+
+Decision GowScheduler::DecideStartup(Transaction& txn) {
+  // Phase0: chain-form test.
+  std::vector<TxnId> conflict_set;
+  for (const auto& [id, other] : active_) {
+    if (txn.ConflictsWith(*other)) conflict_set.push_back(id);
+  }
+  if (!CanExtendChain(graph_, conflict_set)) {
+    ++chain_rejections_;
+    return Decision{DecisionKind::kReject, kInvalidFile};
+  }
+  return Decision{DecisionKind::kGrant, kInvalidFile};
+}
+
+void GowScheduler::AfterAdmit(Transaction& txn) { AddToGraph(txn); }
+
+Decision GowScheduler::DecideLock(Transaction& txn, int step) {
+  const FileId file = txn.step(step).file;
+  const LockMode mode = txn.RequestModeAt(step);
+  // Phase1.
+  if (!lock_table_.CanGrant(file, txn.id(), mode)) {
+    return Decision{DecisionKind::kBlock, file};
+  }
+  // The orientations this grant would determine. In chain form every
+  // conflicter is adjacent to txn in its chain.
+  const std::vector<TxnId> targets =
+      PendingConflicters(file, txn.id(), mode);
+  if (targets.empty()) {
+    // No serialization order is determined: trivially consistent with W.
+    return Decision{DecisionKind::kGrant, file};
+  }
+  // Already-determined order against us => granting would close a cycle.
+  for (TxnId u : targets) {
+    if (graph_.IsOriented(u, txn.id())) {
+      return Decision{DecisionKind::kDelay, file};
+    }
+  }
+  // Phase2: the globally-optimized serializable order W is the orientation
+  // minimizing the chain's critical path. Phase3: the grant is consistent
+  // with W iff forcing the orientations it determines still achieves that
+  // minimal critical path — i.e. *some* optimal order grants q (ties go to
+  // the requester; delaying on an exact tie would starve symmetric
+  // workloads).
+  StatusOr<ChainPlan> base = OptimizeChainOf(graph_, txn.id());
+  WTPG_CHECK(base.ok()) << base.status().ToString();
+  Wtpg forced = graph_;
+  WTPG_CHECK(forced.OrientBatchNoRollback(txn.id(), targets))
+      << "chain-form orientations cannot cycle once IsOriented was checked";
+  StatusOr<ChainPlan> with_grant = OptimizeChainOf(forced, txn.id());
+  WTPG_CHECK(with_grant.ok()) << with_grant.status().ToString();
+  if (with_grant->critical_path > base->critical_path + 1e-9) {
+    return Decision{DecisionKind::kDelay, file};
+  }
+  return Decision{DecisionKind::kGrant, file};
+}
+
+void GowScheduler::AfterGrant(Transaction& txn, int step) {
+  // Phase4.
+  const FileId file = txn.step(step).file;
+  OrientAfterGrant(txn, file, txn.RequestModeAt(step));
+}
+
+}  // namespace wtpgsched

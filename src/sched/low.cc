@@ -1,0 +1,101 @@
+#include "sched/low.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+LowScheduler::LowScheduler(int k, SimTime kwtpgtime, bool charge_per_eval)
+    : k_(k), kwtpgtime_(kwtpgtime), charge_per_eval_(charge_per_eval) {
+  WTPG_CHECK_GE(k_, 0);
+}
+
+std::string LowScheduler::name() const { return StrCat("LOW(K=", k_, ")"); }
+
+SimTime LowScheduler::LockDecisionCost(const Transaction& txn,
+                                       int step) const {
+  if (!charge_per_eval_) return kwtpgtime_;
+  const FileId file = txn.step(step).file;
+  const LockMode mode = txn.RequestModeAt(step);
+  const size_t conflicters =
+      PendingConflicters(file, txn.id(), mode).size();
+  // One evaluation for E(q) plus one per competitor E(p).
+  return kwtpgtime_ * static_cast<SimTime>(1 + conflicters);
+}
+
+bool LowScheduler::AdmissionWithinK(const Transaction& txn) const {
+  for (const auto& [file, mode] : txn.lock_modes()) {
+    // Pending accessors of this granule, with the newcomer included.
+    std::vector<std::pair<TxnId, LockMode>> accessors;
+    accessors.emplace_back(txn.id(), mode);
+    for (const auto& [id, other] : active_) {
+      auto it = other->lock_modes().find(file);
+      if (it == other->lock_modes().end()) continue;
+      if (lock_table_.Holds(file, id)) continue;  // Granted, not pending.
+      accessors.emplace_back(id, it->second);
+    }
+    // Every would-be requester must see at most K conflicting declarations.
+    for (const auto& [id, m] : accessors) {
+      int conflicters = 0;
+      for (const auto& [oid, om] : accessors) {
+        if (oid != id && Conflicts(m, om)) ++conflicters;
+      }
+      if (conflicters > k_) return false;
+    }
+  }
+  return true;
+}
+
+Decision LowScheduler::DecideStartup(Transaction& txn) {
+  if (!AdmissionWithinK(txn)) {
+    ++admission_k_rejections_;
+    return Decision{DecisionKind::kDelay, kInvalidFile};
+  }
+  return Decision{DecisionKind::kGrant, kInvalidFile};
+}
+
+void LowScheduler::AfterAdmit(Transaction& txn) { AddToGraph(txn); }
+
+Decision LowScheduler::DecideLock(Transaction& txn, int step) {
+  const FileId file = txn.step(step).file;
+  const LockMode mode = txn.RequestModeAt(step);
+  // Phase1.
+  if (!lock_table_.CanGrant(file, txn.id(), mode)) {
+    return Decision{DecisionKind::kBlock, file};
+  }
+  std::vector<TxnId> competitors = PendingConflicters(file, txn.id(), mode);
+  WTPG_CHECK_LE(static_cast<int>(competitors.size()), k_)
+      << "admission control must bound |C(q)|";
+  // Phase2: E(q).
+  const double eq =
+      EvaluateGrant(graph_, txn.id(), competitors) + GrantPenalty(txn, step);
+  if (eq == kInfiniteCost) {
+    ++deadlock_delays_;
+    return Decision{DecisionKind::kDelay, file};
+  }
+  // Phase3: E(q) <= E(p) for all p in C(q).
+  for (TxnId u : competitors) {
+    const Transaction* other = active_.at(u);
+    const LockMode other_mode = other->lock_modes().at(file);
+    const double ep =
+        EvaluateGrant(graph_, u, PendingConflicters(file, u, other_mode));
+    if (eq > ep) return Decision{DecisionKind::kDelay, file};
+  }
+  return Decision{DecisionKind::kGrant, file};
+}
+
+void LowScheduler::AfterGrant(Transaction& txn, int step) {
+  // Phase4.
+  const FileId file = txn.step(step).file;
+  OrientAfterGrant(txn, file, txn.RequestModeAt(step));
+}
+
+double LowScheduler::GrantPenalty(const Transaction& txn, int step) const {
+  (void)txn;
+  (void)step;
+  return 0.0;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,21 @@
+#include "sched/low_lb.h"
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+LowLbScheduler::LowLbScheduler(int k, SimTime kwtpgtime, double load_weight,
+                               bool charge_per_eval)
+    : LowScheduler(k, kwtpgtime, charge_per_eval),
+      load_weight_(load_weight) {}
+
+std::string LowLbScheduler::name() const {
+  return StrCat("LOW-LB(K=", k(), ")");
+}
+
+double LowLbScheduler::GrantPenalty(const Transaction& txn, int step) const {
+  if (!probe_ || load_weight_ <= 0.0) return 0.0;
+  return load_weight_ * probe_(txn.step(step).file);
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,43 @@
+#ifndef WTPG_SCHED_SCHED_LOW_LB_H_
+#define WTPG_SCHED_SCHED_LOW_LB_H_
+
+#include <functional>
+#include <string>
+
+#include "sched/low.h"
+
+namespace wtpgsched {
+
+// LOW-LB: the paper's "further work" sketch — LOW extended with
+// resource-level load balancing (Conclusion, last paragraph). The E(q)
+// estimate of a hypothetical grant is penalized by the current load of the
+// data-processing nodes the step would run on, so that, between two
+// otherwise-equal candidates, the lock goes to the transaction whose scan
+// lands on idler nodes.
+//
+// The machine supplies a load probe: probe(file) returns the backlog (in
+// objects) currently queued on the nodes holding `file`'s partitions.
+// Penalty added to E(q): `load_weight * probe(file)`.
+class LowLbScheduler : public LowScheduler {
+ public:
+  using LoadProbe = std::function<double(FileId)>;
+
+  LowLbScheduler(int k, SimTime kwtpgtime, double load_weight,
+                 bool charge_per_eval = true);
+
+  std::string name() const override;
+
+  void set_load_probe(LoadProbe probe) { probe_ = std::move(probe); }
+  double load_weight() const { return load_weight_; }
+
+ protected:
+  double GrantPenalty(const Transaction& txn, int step) const override;
+
+ private:
+  double load_weight_;
+  LoadProbe probe_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SCHED_LOW_LB_H_

@@ -1,0 +1,3 @@
+#include "sched/nodc.h"
+
+// Header-only logic; this TU anchors the vtable.

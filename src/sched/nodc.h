@@ -1,0 +1,32 @@
+#ifndef WTPG_SCHED_SCHED_NODC_H_
+#define WTPG_SCHED_SCHED_NODC_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace wtpgsched {
+
+// NO Data Contention (paper Section 4.2): grants any lock at any time, so it
+// measures pure resource contention and upper-bounds every real scheduler.
+// The schedules it produces are generally not serializable.
+class NodcScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "NODC"; }
+
+ protected:
+  Decision DecideStartup(Transaction& txn) override {
+    (void)txn;
+    return Decision{DecisionKind::kGrant, kInvalidFile};
+  }
+
+  Decision DecideLock(Transaction& txn, int step) override {
+    return Decision{DecisionKind::kGrant, txn.step(step).file};
+  }
+
+  bool ChecksCompatibility() const override { return false; }
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SCHED_NODC_H_

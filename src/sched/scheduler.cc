@@ -1,0 +1,139 @@
+#include "sched/scheduler.h"
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+SimTime Scheduler::StartupDecisionCost(const Transaction& txn) const {
+  (void)txn;
+  return 0;
+}
+
+SimTime Scheduler::LockDecisionCost(const Transaction& txn, int step) const {
+  (void)txn;
+  (void)step;
+  return 0;
+}
+
+Decision Scheduler::OnStartup(Transaction& txn) {
+  WTPG_CHECK(active_.find(txn.id()) == active_.end())
+      << "OnStartup for already-active T" << txn.id();
+  Decision d = DecideStartup(txn);
+  if (d.kind == DecisionKind::kGrant) {
+    active_[txn.id()] = &txn;
+    AfterAdmit(txn);
+  }
+  return d;
+}
+
+Decision Scheduler::OnLockRequest(Transaction& txn, int step) {
+  WTPG_CHECK(active_.find(txn.id()) != active_.end())
+      << "lock request from inactive T" << txn.id();
+  WTPG_CHECK(txn.NeedsLockAt(step));
+  Decision d = DecideLock(txn, step);
+  if (d.kind == DecisionKind::kGrant) {
+    if (RecordsLocks()) {
+      const FileId file = txn.step(step).file;
+      const LockMode mode = txn.RequestModeAt(step);
+      if (ChecksCompatibility()) {
+        lock_table_.Grant(file, txn.id(), mode);
+      } else {
+        lock_table_.ForceGrant(file, txn.id(), mode);
+      }
+    }
+    AfterGrant(txn, step);
+  }
+  return d;
+}
+
+void Scheduler::OnStepCompleted(Transaction& txn, int step) {
+  (void)txn;
+  (void)step;
+}
+
+bool Scheduler::ValidateAtCommit(Transaction& txn) {
+  (void)txn;
+  return true;
+}
+
+std::vector<FileId> Scheduler::OnCommit(Transaction& txn) {
+  WTPG_CHECK(active_.erase(txn.id()) == 1)
+      << "OnCommit for inactive T" << txn.id();
+  std::vector<FileId> released = lock_table_.ReleaseAll(txn.id());
+  AfterCommit(txn);
+  return released;
+}
+
+std::vector<FileId> Scheduler::OnAbort(Transaction& txn) {
+  WTPG_CHECK(active_.erase(txn.id()) == 1)
+      << "OnAbort for inactive T" << txn.id();
+  std::vector<FileId> released = lock_table_.ReleaseAll(txn.id());
+  AfterAbort(txn);
+  return released;
+}
+
+void WtpgSchedulerBase::AddToGraph(Transaction& txn) {
+  graph_.AddNode(txn.id(), txn.DeclaredRemainingCost());
+  for (const auto& [id, other] : active_) {
+    if (id == txn.id()) continue;
+    if (!txn.ConflictsWith(*other)) continue;
+    // w(other -> txn): txn's declared cost from its first step conflicting
+    // with `other`; symmetric for w(txn -> other).
+    const double w_other_txn =
+        txn.DeclaredCostFrom(txn.FirstConflictingStep(*other));
+    const double w_txn_other =
+        other->DeclaredCostFrom(other->FirstConflictingStep(txn));
+    graph_.AddConflictEdge(id, txn.id(), /*weight_ab=*/w_other_txn,
+                           /*weight_ba=*/w_txn_other);
+  }
+  // Strict locking: a transaction already holding a granule that txn will
+  // need in a conflicting mode precedes txn — the order is determined now.
+  for (const auto& [file, mode] : txn.lock_modes()) {
+    for (TxnId holder :
+         lock_table_.ConflictingHolders(file, txn.id(), mode)) {
+      WTPG_CHECK(graph_.OrientNoRollback(holder, txn.id()))
+          << "pre-orientation of holder T" << holder << " -> new T"
+          << txn.id() << " cannot cycle";
+    }
+  }
+}
+
+void WtpgSchedulerBase::OnStepCompleted(Transaction& txn, int step) {
+  (void)step;
+  // Only the T0-edge weights change as the schedule proceeds (Section 3.1).
+  graph_.SetRemaining(txn.id(), txn.DeclaredRemainingCost());
+}
+
+void WtpgSchedulerBase::AfterCommit(Transaction& txn) {
+  graph_.RemoveNode(txn.id());
+}
+
+void WtpgSchedulerBase::AfterAbort(Transaction& txn) {
+  graph_.RemoveNode(txn.id());
+}
+
+std::vector<TxnId> WtpgSchedulerBase::PendingConflicters(
+    FileId file, TxnId requester, LockMode mode) const {
+  std::vector<TxnId> result;
+  for (const auto& [id, other] : active_) {
+    if (id == requester) continue;
+    auto it = other->lock_modes().find(file);
+    if (it == other->lock_modes().end()) continue;
+    if (!Conflicts(mode, it->second)) continue;
+    if (lock_table_.Holds(file, id)) continue;  // Granted, not pending.
+    result.push_back(id);
+  }
+  return result;
+}
+
+void WtpgSchedulerBase::OrientAfterGrant(Transaction& txn, FileId file,
+                                         LockMode mode) {
+  const std::vector<TxnId> targets =
+      PendingConflicters(file, txn.id(), mode);
+  WTPG_CHECK(graph_.OrientBatchNoRollback(txn.id(), targets))
+      << "grant to T" << txn.id() << " on file " << file
+      << " contradicts WTPG orientations — decision logic must have "
+         "prevented this";
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,156 @@
+#ifndef WTPG_SCHED_SCHED_SCHEDULER_H_
+#define WTPG_SCHED_SCHED_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lock/lock_table.h"
+#include "model/transaction.h"
+#include "model/types.h"
+#include "sim/time.h"
+#include "wtpg/wtpg.h"
+
+namespace wtpgsched {
+
+// Outcome of a scheduler decision (paper Figs. 4 and 7):
+//  kGrant  — the request proceeds now.
+//  kBlock  — a conflicting lock is held; the machine queues the requester on
+//            the granule and retries when it is released.
+//  kDelay  — grantable but refused by the scheduling strategy; the machine
+//            parks the requester and retries on the next state change
+//            (commit / grant) or after the fallback delay.
+//  kReject — admission refused outright (GOW's chain-form test); the
+//            transaction is resubmitted later, like an aborted request.
+//  kAbortRestart — the requester must be aborted and restarted from
+//            scratch (2PL's deadlock-victim path); its locks are released
+//            and all work of the incarnation is wasted.
+enum class DecisionKind { kGrant, kBlock, kDelay, kReject, kAbortRestart };
+
+struct Decision {
+  DecisionKind kind = DecisionKind::kGrant;
+  // Which granule the decision refers to (for kBlock bookkeeping).
+  FileId file = kInvalidFile;
+};
+
+// Concurrency-control scheduler interface. The machine drives transactions
+// and consults the scheduler for admission and lock decisions; decisions run
+// as control-node CPU jobs whose service times come from the *Cost methods
+// (Table 1 of the paper). The scheduler owns the lock table.
+//
+// Contract:
+//  * OnStartup is called at arrival and on every admission retry. On kGrant
+//    the scheduler registers the transaction (and ASL atomically acquires
+//    all declared locks).
+//  * OnLockRequest is called only for steps with NeedsLockAt(step) when the
+//    lock is not yet held. On kGrant the lock is recorded.
+//  * OnStepCompleted lets WTPG schedulers maintain the T0-edge weights.
+//  * ValidateAtCommit is OPT's certification hook (false => restart).
+//  * OnCommit / OnAbort end an incarnation and release bookkeeping; both
+//    return the files whose locks were released (so the machine can wake
+//    blocked requests).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // CPU cost charged at the control node for processing the decision.
+  virtual SimTime StartupDecisionCost(const Transaction& txn) const;
+  virtual SimTime LockDecisionCost(const Transaction& txn, int step) const;
+
+  Decision OnStartup(Transaction& txn);
+  Decision OnLockRequest(Transaction& txn, int step);
+
+  virtual void OnStepCompleted(Transaction& txn, int step);
+  virtual bool ValidateAtCommit(Transaction& txn);
+
+  // The machine stamps the simulated time before every decision hook;
+  // schedulers are otherwise clock-free (only OPT uses it).
+  virtual void OnClock(SimTime now) { (void)now; }
+
+  // Whether writes are deferred to commit (OPT's private workspace model).
+  // The machine logs write accesses at commit time for such schedulers and
+  // at scan time otherwise.
+  virtual bool DefersWrites() const { return false; }
+
+  // Whether each admission (re)test consumes control-node CPU, in which
+  // case the machine bounds how many parked startups it retests per wake
+  // event (config.admission_retry_limit). False for schedulers whose
+  // admission test is a plain lock-table scan.
+  virtual bool CostlyAdmission() const { return false; }
+
+  // Whether a lock grant can flip earlier kDelay decisions, so the machine
+  // should retry delayed requests after each grant. True for the WTPG
+  // optimizers (their E()/plan comparisons change with every orientation);
+  // false for C2PL, whose delay reasons (predicted deadlock) only clear at
+  // commit — and whose saturated graphs make per-grant retries expensive.
+  virtual bool RetryDelayedOnGrant() const { return true; }
+  std::vector<FileId> OnCommit(Transaction& txn);
+  std::vector<FileId> OnAbort(Transaction& txn);
+
+  LockTable& lock_table() { return lock_table_; }
+  const LockTable& lock_table() const { return lock_table_; }
+
+  // Transactions admitted and not yet committed/aborted.
+  size_t num_active() const { return active_.size(); }
+  const std::map<TxnId, Transaction*>& active() const { return active_; }
+
+ protected:
+  // --- Template-method hooks ---
+
+  virtual Decision DecideStartup(Transaction& txn) = 0;
+  // Registration already happened when this runs (ASL acquires locks here).
+  virtual void AfterAdmit(Transaction& /*txn*/) {}
+
+  virtual Decision DecideLock(Transaction& txn, int step) = 0;
+  // Lock already recorded when this runs (WTPG schedulers orient edges).
+  virtual void AfterGrant(Transaction& /*txn*/, int /*step*/) {}
+
+  virtual void AfterCommit(Transaction& /*txn*/) {}
+  virtual void AfterAbort(Transaction& /*txn*/) {}
+
+  // Whether granted locks are recorded with compatibility checking (NODC
+  // overrides to force-grant; OPT overrides RecordsLocks to skip entirely).
+  virtual bool ChecksCompatibility() const { return true; }
+  virtual bool RecordsLocks() const { return true; }
+
+  LockTable lock_table_;
+  std::map<TxnId, Transaction*> active_;
+};
+
+// Shared machinery for the schedulers that maintain a (weighted or
+// unweighted) transaction-precedence graph: C2PL, GOW, LOW.
+class WtpgSchedulerBase : public Scheduler {
+ public:
+  const Wtpg& graph() const { return graph_; }
+
+  void OnStepCompleted(Transaction& txn, int step) override;
+
+ protected:
+  // Adds txn to the graph: node with W0 = declared total, conflict edges to
+  // every conflicting active transaction, and pre-orientations u -> txn for
+  // every u already holding a conflicting lock (strict locking forces the
+  // order as soon as u holds the granule).
+  void AddToGraph(Transaction& txn);
+
+  void AfterCommit(Transaction& txn) override;
+  void AfterAbort(Transaction& txn) override;
+
+  // Active transactions (other than `requester`) that have a *pending*
+  // (declared but not yet granted) access to `file` conflicting with
+  // `mode`. These are the C(q) candidates and the orientation targets of a
+  // grant.
+  std::vector<TxnId> PendingConflicters(FileId file, TxnId requester,
+                                        LockMode mode) const;
+
+  // Orients requester -> u for every pending conflicter after a grant.
+  // The decision logic must have verified feasibility; failures are bugs.
+  void OrientAfterGrant(Transaction& txn, FileId file, LockMode mode);
+
+  Wtpg graph_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SCHED_SCHEDULER_H_

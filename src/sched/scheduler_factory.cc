@@ -1,0 +1,44 @@
+#include "sched/scheduler_factory.h"
+
+#include "sched/asl.h"
+#include "sched/c2pl.h"
+#include "sched/gow.h"
+#include "sched/low.h"
+#include "sched/low_lb.h"
+#include "sched/nodc.h"
+#include "sched/opt.h"
+#include "sched/two_pl.h"
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+std::unique_ptr<Scheduler> CreateScheduler(const SimConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::kNodc:
+      return std::make_unique<NodcScheduler>();
+    case SchedulerKind::kAsl:
+      return std::make_unique<AslScheduler>();
+    case SchedulerKind::kC2pl:
+      return std::make_unique<C2plScheduler>(MsToTime(config.dd_time_ms),
+                                             config.mpl);
+    case SchedulerKind::kOpt:
+      return std::make_unique<OptScheduler>(config.opt_validate_writes);
+    case SchedulerKind::kGow:
+      return std::make_unique<GowScheduler>(MsToTime(config.top_time_ms),
+                                            MsToTime(config.chain_time_ms));
+    case SchedulerKind::kLow:
+      return std::make_unique<LowScheduler>(config.low_k,
+                                            MsToTime(config.kwtpg_time_ms),
+                                            config.low_charge_per_eval);
+    case SchedulerKind::kLowLb:
+      return std::make_unique<LowLbScheduler>(
+          config.low_k, MsToTime(config.kwtpg_time_ms), config.low_lb_weight,
+          config.low_charge_per_eval);
+    case SchedulerKind::kTwoPl:
+      return std::make_unique<TwoPlScheduler>(MsToTime(config.dd_time_ms));
+  }
+  WTPG_CHECK(false) << "unknown scheduler kind";
+  return nullptr;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,17 @@
+#ifndef WTPG_SCHED_SCHED_SCHEDULER_FACTORY_H_
+#define WTPG_SCHED_SCHED_SCHEDULER_FACTORY_H_
+
+#include <memory>
+
+#include "machine/config.h"
+#include "sched/scheduler.h"
+
+namespace wtpgsched {
+
+// Builds the scheduler selected by `config`, wiring in the Table-1 CPU
+// costs. LOW-LB's load probe must be attached by the machine afterwards.
+std::unique_ptr<Scheduler> CreateScheduler(const SimConfig& config);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SCHED_SCHEDULER_FACTORY_H_

@@ -1,0 +1,82 @@
+#include "sched/two_pl.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+TwoPlScheduler::TwoPlScheduler(SimTime ddtime) : ddtime_(ddtime) {}
+
+SimTime TwoPlScheduler::LockDecisionCost(const Transaction& txn,
+                                         int step) const {
+  (void)txn;
+  (void)step;
+  return ddtime_;
+}
+
+Decision TwoPlScheduler::DecideStartup(Transaction& txn) {
+  (void)txn;
+  return Decision{DecisionKind::kGrant, kInvalidFile};
+}
+
+bool TwoPlScheduler::WouldDeadlock(TxnId txn, FileId file) const {
+  // DFS over the waits-for relation starting from the holders `txn` would
+  // wait on; reaching `txn` again closes a cycle.
+  std::vector<TxnId> stack;
+  std::unordered_set<TxnId> visited;
+  auto push_holders = [&](FileId f, TxnId waiter) {
+    for (const LockTable::Holder& h : lock_table_.GetHolders(f)) {
+      if (h.txn == waiter) continue;
+      if (visited.insert(h.txn).second) stack.push_back(h.txn);
+    }
+  };
+  push_holders(file, txn);
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) return true;
+    auto it = waiting_on_.find(cur);
+    if (it == waiting_on_.end()) continue;
+    for (const LockTable::Holder& h : lock_table_.GetHolders(it->second)) {
+      if (h.txn == txn) return true;
+      if (h.txn != cur && visited.insert(h.txn).second) {
+        stack.push_back(h.txn);
+      }
+    }
+  }
+  return false;
+}
+
+Decision TwoPlScheduler::DecideLock(Transaction& txn, int step) {
+  const FileId file = txn.step(step).file;
+  const LockMode mode = txn.RequestModeAt(step);
+  if (lock_table_.CanGrant(file, txn.id(), mode)) {
+    waiting_on_.erase(txn.id());
+    return Decision{DecisionKind::kGrant, file};
+  }
+  if (WouldDeadlock(txn.id(), file)) {
+    // Victim policy: abort the requester (it restarts from scratch).
+    ++deadlock_aborts_;
+    waiting_on_.erase(txn.id());
+    return Decision{DecisionKind::kAbortRestart, file};
+  }
+  waiting_on_[txn.id()] = file;
+  return Decision{DecisionKind::kBlock, file};
+}
+
+void TwoPlScheduler::AfterGrant(Transaction& txn, int step) {
+  (void)step;
+  waiting_on_.erase(txn.id());
+}
+
+void TwoPlScheduler::AfterCommit(Transaction& txn) {
+  waiting_on_.erase(txn.id());
+}
+
+void TwoPlScheduler::AfterAbort(Transaction& txn) {
+  waiting_on_.erase(txn.id());
+}
+
+}  // namespace wtpgsched

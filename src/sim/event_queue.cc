@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+EventQueue::EventId EventQueue::Schedule(SimTime at, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  return heap_.empty() ? kSimTimeMax : heap_.top().time;
+}
+
+EventQueue::Event EventQueue::Pop() {
+  SkipCancelled();
+  WTPG_CHECK(!heap_.empty()) << "Pop() on empty EventQueue";
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Event event{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return event;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,71 @@
+#ifndef WTPG_SCHED_SIM_EVENT_QUEUE_H_
+#define WTPG_SCHED_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// A time-ordered queue of callbacks. Events at equal timestamps fire in
+// insertion order (FIFO), which makes simulations deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  struct Event {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Enqueues `cb` to fire at absolute time `at`. Returns an id usable with
+  // Cancel().
+  EventId Schedule(SimTime at, Callback cb);
+
+  // Cancels a scheduled event. Returns false if the event already fired or
+  // was already cancelled. Cancelled entries are lazily discarded on pop.
+  bool Cancel(EventId id);
+
+  bool empty() const { return callbacks_.empty(); }
+  size_t size() const { return callbacks_.size(); }
+
+  // Timestamp of the next live event; kSimTimeMax when empty.
+  SimTime NextTime();
+
+  // Pops and returns the next live event. Requires !empty().
+  Event Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // Monotonic; doubles as FIFO tiebreak.
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  // Drops cancelled entries sitting at the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  // Live callbacks keyed by id; an id absent here marks a heap tombstone.
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SIM_EVENT_QUEUE_H_

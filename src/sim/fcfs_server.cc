@@ -1,0 +1,47 @@
+#include "sim/fcfs_server.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+FcfsServer::FcfsServer(Simulator* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void FcfsServer::Submit(SimTime service_time, Callback on_complete) {
+  WTPG_CHECK_GE(service_time, 0);
+  queue_.push_back(Job{service_time, std::move(on_complete)});
+  if (!busy_) StartNext();
+}
+
+void FcfsServer::StartNext() {
+  WTPG_CHECK(!busy_);
+  if (queue_.empty()) return;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  busy_time_ += job.service_time;
+  current_callback_ = std::move(job.on_complete);
+  sim_->ScheduleAfter(job.service_time, [this] { OnJobDone(); });
+}
+
+void FcfsServer::OnJobDone() {
+  WTPG_CHECK(busy_);
+  busy_ = false;
+  ++jobs_completed_;
+  Callback cb = std::move(current_callback_);
+  current_callback_ = nullptr;
+  // Start the next job before running the callback so that work submitted
+  // from inside the callback queues behind already-waiting jobs.
+  StartNext();
+  if (cb) cb();
+}
+
+double FcfsServer::Utilization() const {
+  const SimTime elapsed = sim_->Now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,59 @@
+#ifndef WTPG_SCHED_SIM_FCFS_SERVER_H_
+#define WTPG_SCHED_SIM_FCFS_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// Single-server FIFO queue: jobs are served one at a time, to completion, in
+// arrival order. Models the control node's CPU, where every scheduler
+// decision, message and commit action is a small CPU burst.
+class FcfsServer {
+ public:
+  using Callback = std::function<void()>;
+
+  FcfsServer(Simulator* sim, std::string name);
+  FcfsServer(const FcfsServer&) = delete;
+  FcfsServer& operator=(const FcfsServer&) = delete;
+
+  // Enqueues a job needing `service_time` of CPU; `on_complete` fires when
+  // the job finishes. Zero service time is allowed (still FIFO-ordered).
+  void Submit(SimTime service_time, Callback on_complete);
+
+  bool busy() const { return busy_; }
+  size_t queue_length() const { return queue_.size(); }
+
+  // Total time the server has spent serving jobs.
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+  // busy_time / elapsed, where elapsed is the simulator clock (assumes the
+  // server existed from t=0, true for all uses in this project).
+  double Utilization() const;
+
+ private:
+  struct Job {
+    SimTime service_time;
+    Callback on_complete;
+  };
+
+  void StartNext();
+  void OnJobDone();
+
+  Simulator* const sim_;
+  const std::string name_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  Callback current_callback_;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SIM_FCFS_SERVER_H_

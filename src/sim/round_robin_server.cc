@@ -1,0 +1,62 @@
+#include "sim/round_robin_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+RoundRobinServer::RoundRobinServer(Simulator* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+RoundRobinServer::JobId RoundRobinServer::Submit(SimTime total_service,
+                                                 SimTime quantum,
+                                                 Callback on_complete) {
+  WTPG_CHECK_GE(total_service, 0);
+  WTPG_CHECK_GT(quantum, 0);
+  const JobId id = next_id_++;
+  jobs_.emplace(id, Job{total_service, quantum, std::move(on_complete)});
+  ready_.push_back(id);
+  if (!slice_in_progress_) StartSlice();
+  return id;
+}
+
+void RoundRobinServer::StartSlice() {
+  WTPG_CHECK(!slice_in_progress_);
+  if (ready_.empty()) return;
+  const JobId id = ready_.front();
+  ready_.pop_front();
+  auto it = jobs_.find(id);
+  WTPG_CHECK(it != jobs_.end());
+  const SimTime slice = std::min(it->second.quantum, it->second.remaining);
+  slice_in_progress_ = true;
+  busy_time_ += slice;
+  sim_->ScheduleAfter(slice, [this, id, slice] { OnSliceDone(id, slice); });
+}
+
+void RoundRobinServer::OnSliceDone(JobId id, SimTime slice) {
+  WTPG_CHECK(slice_in_progress_);
+  slice_in_progress_ = false;
+  auto it = jobs_.find(id);
+  WTPG_CHECK(it != jobs_.end());
+  it->second.remaining -= slice;
+  if (it->second.remaining <= 0) {
+    Callback cb = std::move(it->second.on_complete);
+    jobs_.erase(it);
+    ++jobs_completed_;
+    StartSlice();
+    if (cb) cb();
+  } else {
+    ready_.push_back(id);
+    StartSlice();
+  }
+}
+
+double RoundRobinServer::Utilization() const {
+  const SimTime elapsed = sim_->Now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,63 @@
+#ifndef WTPG_SCHED_SIM_ROUND_ROBIN_SERVER_H_
+#define WTPG_SCHED_SIM_ROUND_ROBIN_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// Round-robin processor: resident jobs take turns receiving a service slice
+// of min(quantum, remaining). Models a data-processing node scanning the
+// cohorts assigned to it — the paper's DPNs serve cohorts round-robin with a
+// quantum of 1/DD object.
+//
+// Slices run to completion (a newly arrived job waits for the current slice
+// to end), matching a scan unit that cannot be preempted mid-object.
+class RoundRobinServer {
+ public:
+  using Callback = std::function<void()>;
+  using JobId = uint64_t;
+
+  RoundRobinServer(Simulator* sim, std::string name);
+  RoundRobinServer(const RoundRobinServer&) = delete;
+  RoundRobinServer& operator=(const RoundRobinServer&) = delete;
+
+  // Adds a job needing `total_service` time, sliced into quanta of
+  // `quantum` (> 0). `on_complete` fires when the whole job has been served.
+  JobId Submit(SimTime total_service, SimTime quantum, Callback on_complete);
+
+  size_t active_jobs() const { return jobs_.size(); }
+  bool busy() const { return slice_in_progress_; }
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  double Utilization() const;
+
+ private:
+  struct Job {
+    SimTime remaining;
+    SimTime quantum;
+    Callback on_complete;
+  };
+
+  void StartSlice();
+  void OnSliceDone(JobId id, SimTime slice);
+
+  Simulator* const sim_;
+  const std::string name_;
+  std::unordered_map<JobId, Job> jobs_;
+  std::deque<JobId> ready_;  // Rotation order.
+  bool slice_in_progress_ = false;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_completed_ = 0;
+  JobId next_id_ = 1;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_SIM_ROUND_ROBIN_SERVER_H_

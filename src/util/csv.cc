@@ -1,0 +1,46 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+Status CsvWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::Internal(StrCat("cannot open ", path, " for writing"));
+  }
+  return Status::Ok();
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace wtpgsched

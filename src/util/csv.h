@@ -1,0 +1,39 @@
+#ifndef WTPG_SCHED_UTIL_CSV_H_
+#define WTPG_SCHED_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wtpgsched {
+
+// Tiny CSV writer used by the experiment harness to dump series/tables for
+// external plotting. Fields containing separators or quotes are quoted.
+class CsvWriter {
+ public:
+  // Opens `path` for writing (truncating). Check Open()'s status before use.
+  CsvWriter() = default;
+
+  Status Open(const std::string& path);
+
+  // Writes one row. Each field is escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience: header row then delegates to WriteRow for data.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  void Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_CSV_H_

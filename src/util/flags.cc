@@ -1,0 +1,175 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  std::string default_value,
+                                  std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.string_value = std::move(default_value);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t default_value,
+                               std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name,
+                                  double default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool default_value,
+                                std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& name,
+                            const std::string& value) {
+  char* end = nullptr;
+  switch (flag->type) {
+    case Type::kString:
+      flag->string_value = value;
+      return Status::Ok();
+    case Type::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("--", name, " expects an integer, got '", value, "'"));
+      }
+      flag->int_value = v;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("--", name, " expects a number, got '", value, "'"));
+      }
+      flag->double_value = v;
+      return Status::Ok();
+    }
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        flag->bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("--", name, " expects true/false, got '", value, "'"));
+      }
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument(StrCat("unknown flag --", name));
+    }
+    Flag* flag = &it->second;
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        flag->bool_value = true;  // Bare --flag.
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(StrCat("--", name, " needs a value"));
+      }
+      value = argv[++i];
+    }
+    Status status = SetValue(flag, name, value);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+const FlagParser::Flag& FlagParser::Find(const std::string& name,
+                                         Type type) const {
+  auto it = flags_.find(name);
+  WTPG_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  WTPG_CHECK(it->second.type == type) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Find(name, Type::kString).string_value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return Find(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return Find(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return Find(name, Type::kBool).bool_value;
+}
+
+std::string FlagParser::Help() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    std::string def;
+    switch (flag.type) {
+      case Type::kString:
+        def = flag.string_value.empty() ? "\"\"" : flag.string_value;
+        break;
+      case Type::kInt:
+        def = StrCat(flag.int_value);
+        break;
+      case Type::kDouble:
+        def = FormatDouble(flag.double_value, 3);
+        break;
+      case Type::kBool:
+        def = flag.bool_value ? "true" : "false";
+        break;
+    }
+    out += StrCat("  --", PadRight(name, 20), " ", flag.help,
+                  " (default: ", def, ")\n");
+  }
+  return out;
+}
+
+}  // namespace wtpgsched

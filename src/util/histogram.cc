@@ -1,0 +1,71 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    auto* self = const_cast<Histogram*>(this);
+    std::sort(self->samples_.begin(), self->samples_.end());
+    self->sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::StdDev() const {
+  if (samples_.empty()) return 0.0;
+  const double n = static_cast<double>(samples_.size());
+  const double mean = sum_ / n;
+  const double var = sum_sq_ / n - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  WTPG_CHECK_GE(p, 0.0);
+  WTPG_CHECK_LE(p, 100.0);
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_[0];
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+}  // namespace wtpgsched

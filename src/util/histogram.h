@@ -1,0 +1,44 @@
+#ifndef WTPG_SCHED_UTIL_HISTOGRAM_H_
+#define WTPG_SCHED_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wtpgsched {
+
+// Streaming summary statistics plus exact percentiles (samples are retained;
+// simulation runs produce at most a few thousand response times, so memory
+// is a non-issue and exact quantiles beat bucketed approximations).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  // Population standard deviation.
+  double StdDev() const;
+  // Exact percentile in [0, 100]. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  void Clear();
+
+ private:
+  // Sorts samples_ lazily; Add() invalidates the sorted flag.
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_HISTOGRAM_H_

@@ -1,0 +1,91 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += Format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, StrCat("\"", Escape(value), "\""));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, double value) {
+  // JSON has no NaN/Inf; emit null for them.
+  fields_.emplace_back(
+      key, std::isfinite(value) ? Format("%.6g", value) : "null");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, StrCat(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, StrCat(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, int value) {
+  return Add(key, static_cast<int64_t>(value));
+}
+
+JsonWriter& JsonWriter::Add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::AddRaw(const std::string& key,
+                               const std::string& json) {
+  fields_.emplace_back(key, json);
+  return *this;
+}
+
+std::string JsonWriter::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrCat("\"", Escape(fields_[i].first), "\":", fields_[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,36 @@
+#ifndef WTPG_SCHED_UTIL_JSON_WRITER_H_
+#define WTPG_SCHED_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wtpgsched {
+
+// Tiny JSON object builder (strings, numbers, booleans, and nested
+// objects/arrays via raw fragments) — enough for tooling output without a
+// third-party dependency. Keys are emitted in insertion order.
+class JsonWriter {
+ public:
+  JsonWriter& Add(const std::string& key, const std::string& value);
+  JsonWriter& Add(const std::string& key, const char* value);
+  JsonWriter& Add(const std::string& key, double value);
+  JsonWriter& Add(const std::string& key, int64_t value);
+  JsonWriter& Add(const std::string& key, uint64_t value);
+  JsonWriter& Add(const std::string& key, int value);
+  JsonWriter& Add(const std::string& key, bool value);
+  // Adds a pre-serialized JSON fragment (object/array) verbatim.
+  JsonWriter& AddRaw(const std::string& key, const std::string& json);
+
+  // {"k":v,...}
+  std::string ToString() const;
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_JSON_WRITER_H_

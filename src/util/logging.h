@@ -1,0 +1,80 @@
+#ifndef WTPG_SCHED_UTIL_LOGGING_H_
+#define WTPG_SCHED_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace wtpgsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process on destruction. Used by CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator so it can swallow a stream expression.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace wtpgsched
+
+#define WTPG_LOG(level)                                            \
+  ::wtpgsched::internal_logging::LogMessage(                       \
+      ::wtpgsched::LogLevel::k##level, __FILE__, __LINE__)         \
+      .stream()
+
+// CHECK aborts with a message when the condition does not hold. Invariant
+// violations in the simulator are programming errors, never data errors, so
+// aborting is the right response (no exceptions in this codebase).
+#define WTPG_CHECK(condition)                                               \
+  (condition) ? (void)0                                                     \
+              : ::wtpgsched::internal_logging::Voidify() &                  \
+                    ::wtpgsched::internal_logging::FatalLogMessage(         \
+                        __FILE__, __LINE__)                                 \
+                        .stream()                                           \
+                    << "Check failed: " #condition " "
+
+#define WTPG_CHECK_EQ(a, b) WTPG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WTPG_CHECK_NE(a, b) WTPG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WTPG_CHECK_LT(a, b) WTPG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WTPG_CHECK_LE(a, b) WTPG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WTPG_CHECK_GT(a, b) WTPG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WTPG_CHECK_GE(a, b) WTPG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // WTPG_SCHED_UTIL_LOGGING_H_

@@ -1,0 +1,47 @@
+#ifndef WTPG_SCHED_UTIL_RANDOM_H_
+#define WTPG_SCHED_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace wtpgsched {
+
+// Deterministic, seedable PRNG (xoshiro256++). We avoid <random> engines so
+// that simulation runs are bit-reproducible across standard library
+// implementations — important for regression-testing experiment output.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  // Exponentially distributed with the given mean (> 0). Used for Poisson
+  // inter-arrival times.
+  double Exponential(double mean);
+
+  // Normally distributed (Box-Muller) with the given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  // Creates an independently-seeded child stream. Different workload
+  // components draw from separate streams so that, e.g., adding a scheduler
+  // cost does not perturb arrival times.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_RANDOM_H_

@@ -1,0 +1,49 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace wtpgsched {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += sep;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(result.data(), result.size(), fmt, args_copy);
+    result.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string FormatDouble(double value, int precision) {
+  return Format("%.*f", precision, value);
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,38 @@
+#ifndef WTPG_SCHED_UTIL_STRING_UTIL_H_
+#define WTPG_SCHED_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wtpgsched {
+
+// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+// Left-pads / right-pads `s` with spaces to at least `width` characters.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_STRING_UTIL_H_

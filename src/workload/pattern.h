@@ -1,0 +1,84 @@
+#ifndef WTPG_SCHED_WORKLOAD_PATTERN_H_
+#define WTPG_SCHED_WORKLOAD_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "model/transaction.h"
+#include "model/types.h"
+#include "util/random.h"
+
+namespace wtpgsched {
+
+// A workload pattern: a template "step1 -> ... -> stepN" from which each new
+// transaction is instantiated (paper Section 4.2). Files are chosen via
+// named file variables drawn from pools, so that the built-in Experiment 1
+// and Experiment 2 patterns and arbitrary user patterns share one mechanism.
+
+// How one file variable is drawn.
+struct FileVarSpec {
+  FileId pool_lo = 0;   // Inclusive.
+  FileId pool_hi = 0;   // Inclusive.
+  // When true, the draw excludes files already bound to earlier variables
+  // with the same pool (e.g. F1 != F2 in Pattern 1).
+  bool distinct_within_pool = true;
+};
+
+// One templated step.
+struct PatternStepSpec {
+  bool is_write = false;
+  // Lock mode requested when this step first locks its file; must cover all
+  // later accesses of the same file variable.
+  LockMode request_mode = LockMode::kShared;
+  int file_var = 0;   // Index into Pattern::vars.
+  double cost = 0.0;  // I/O demand C in objects at DD = 1.
+};
+
+// Declaration error model of Experiment 3: declared cost = C0 * (1 + x)
+// with x ~ N(0, sigma), clamped to 0 when x <= -1.
+struct ErrorModel {
+  double sigma = 0.0;
+};
+
+class Pattern {
+ public:
+  Pattern(std::string name, std::vector<FileVarSpec> vars,
+          std::vector<PatternStepSpec> steps);
+
+  // Pattern 1 (Experiments 1 and 3):
+  //   r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)
+  // F1, F2 distinct uniform over [0, num_files); X-locks requested at the
+  // first two steps.
+  static Pattern Experiment1(int num_files);
+
+  // Pattern 2 (Experiment 2):
+  //   r(B:5) -> w(F1:1) -> w(F2:1)
+  // B uniform over 8 read-only files [0, 8); F1, F2 distinct uniform over 8
+  // hot files [8, 16). S-lock for the read, X-locks for the writes.
+  static Pattern Experiment2();
+
+  const std::string& name() const { return name_; }
+  const std::vector<FileVarSpec>& vars() const { return vars_; }
+  const std::vector<PatternStepSpec>& steps() const { return steps_; }
+
+  // Largest file id any variable can draw (for validating placement).
+  FileId MaxFileId() const;
+
+  // Total actual I/O demand of one instance, in objects at DD = 1.
+  double TotalCost() const;
+
+  // Draws file bindings and builds the concrete steps. `dd` is the degree
+  // of declustering (declared costs are divided by it: a step of cost C
+  // declares C/DD when DD-way parallel). `error` perturbs declared costs.
+  std::vector<StepSpec> Instantiate(Rng* rng, int dd,
+                                    const ErrorModel& error) const;
+
+ private:
+  std::string name_;
+  std::vector<FileVarSpec> vars_;
+  std::vector<PatternStepSpec> steps_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_WORKLOAD_PATTERN_H_

@@ -1,0 +1,315 @@
+#include "workload/pattern_parser.h"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+namespace {
+
+// Minimal recursive-descent scanner over the pattern text.
+class Parser {
+ public:
+  Parser(const std::string& text, int num_files)
+      : text_(text), num_files_(num_files) {}
+
+  StatusOr<Pattern> Parse() {
+    if (num_files_ <= 0) {
+      return Status::InvalidArgument("num_files must be positive");
+    }
+    // Optional pool prologue: "NAME[,NAME...] in [lo,hi]; ... :".
+    const size_t colon = FindPrologueColon();
+    if (colon != std::string::npos) {
+      Status status = ParsePools(text_.substr(0, colon));
+      if (!status.ok()) return status;
+      pos_ = colon + 1;
+    }
+    Status status = ParseSteps();
+    if (!status.ok()) return status;
+    if (steps_.empty()) {
+      return Status::InvalidArgument("pattern has no steps");
+    }
+    // Distinct-draw feasibility: a pool must be at least as large as the
+    // number of variables drawing from it (otherwise instantiation could
+    // never find distinct files).
+    std::map<std::pair<FileId, FileId>, int> pool_population;
+    for (const FileVarSpec& var : vars_) {
+      const int population = ++pool_population[{var.pool_lo, var.pool_hi}];
+      if (population > var.pool_hi - var.pool_lo + 1) {
+        return Status::InvalidArgument(
+            StrCat("pool [", var.pool_lo, ",", var.pool_hi,
+                   "] too small for ", population, " distinct variables"));
+      }
+    }
+    // Predeclared locking requires the first touch of a file to request a
+    // mode covering every later access: auto-upgrade "r(F:..) -> w(F:..)"
+    // to an X request at the read (what the paper's 'X-locks are requested
+    // at the first two steps' does explicitly).
+    std::map<int, LockMode> strongest;
+    for (const PatternStepSpec& step : steps_) {
+      const LockMode mode =
+          Stronger(step.request_mode,
+                   step.is_write ? LockMode::kExclusive : LockMode::kShared);
+      auto [it, inserted] = strongest.emplace(step.file_var, mode);
+      if (!inserted) it->second = Stronger(it->second, mode);
+    }
+    std::map<int, bool> first_seen;
+    for (PatternStepSpec& step : steps_) {
+      if (first_seen.emplace(step.file_var, true).second) {
+        step.request_mode = strongest.at(step.file_var);
+      }
+    }
+    return Pattern("parsed", vars_, steps_);
+  }
+
+ private:
+  // The prologue colon is a ':' appearing before the first step operator
+  // ('(' of r/w/x). A ':' inside "VAR:COST" always follows a '('.
+  size_t FindPrologueColon() const {
+    for (size_t i = 0; i < text_.size(); ++i) {
+      if (text_[i] == '(') return std::string::npos;
+      if (text_[i] == ':') return i;
+    }
+    return std::string::npos;
+  }
+
+  Status ParsePools(const std::string& prologue) {
+    size_t pos = 0;
+    auto skip_ws = [&] {
+      while (pos < prologue.size() && std::isspace(prologue[pos])) ++pos;
+    };
+    while (true) {
+      skip_ws();
+      if (pos >= prologue.size()) break;
+      // Names.
+      std::vector<std::string> names;
+      while (true) {
+        skip_ws();
+        std::string name;
+        while (pos < prologue.size() &&
+               (std::isalnum(prologue[pos]) || prologue[pos] == '_')) {
+          name += prologue[pos++];
+        }
+        if (name.empty()) {
+          return Status::InvalidArgument(
+              StrCat("expected variable name in pool declaration at offset ",
+                     pos));
+        }
+        if (name == "in") {
+          return Status::InvalidArgument(
+              "missing variable name before 'in'");
+        }
+        names.push_back(name);
+        skip_ws();
+        if (pos < prologue.size() && prologue[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      // "in [lo,hi]".
+      if (prologue.compare(pos, 2, "in") != 0) {
+        return Status::InvalidArgument(
+            StrCat("expected 'in' in pool declaration at offset ", pos));
+      }
+      pos += 2;
+      skip_ws();
+      if (pos >= prologue.size() || prologue[pos] != '[') {
+        return Status::InvalidArgument("expected '[' after 'in'");
+      }
+      ++pos;
+      int lo = 0;
+      int hi = 0;
+      if (!ParseIntAt(prologue, &pos, &lo)) {
+        return Status::InvalidArgument("bad pool lower bound");
+      }
+      skip_ws();
+      if (pos >= prologue.size() || prologue[pos] != ',') {
+        return Status::InvalidArgument("expected ',' in pool bounds");
+      }
+      ++pos;
+      if (!ParseIntAt(prologue, &pos, &hi)) {
+        return Status::InvalidArgument("bad pool upper bound");
+      }
+      skip_ws();
+      if (pos >= prologue.size() || prologue[pos] != ']') {
+        return Status::InvalidArgument("expected ']' after pool bounds");
+      }
+      ++pos;
+      if (lo < 0 || hi < lo) {
+        return Status::InvalidArgument(
+            StrCat("bad pool [", lo, ",", hi, "]"));
+      }
+      for (const std::string& name : names) {
+        if (pools_.count(name)) {
+          return Status::InvalidArgument(
+              StrCat("duplicate pool for variable ", name));
+        }
+        pools_[name] = {static_cast<FileId>(lo), static_cast<FileId>(hi)};
+      }
+      skip_ws();
+      if (pos < prologue.size()) {
+        if (prologue[pos] != ';') {
+          return Status::InvalidArgument(
+              StrCat("expected ';' between pool declarations at offset ",
+                     pos));
+        }
+        ++pos;
+      }
+    }
+    return Status::Ok();
+  }
+
+  static bool ParseIntAt(const std::string& s, size_t* pos, int* out) {
+    while (*pos < s.size() && std::isspace(s[*pos])) ++(*pos);
+    size_t start = *pos;
+    while (*pos < s.size() && std::isdigit(s[*pos])) ++(*pos);
+    if (*pos == start) return false;
+    // strtol never throws; reject overflow instead.
+    errno = 0;
+    const long v = std::strtol(s.c_str() + start, nullptr, 10);
+    if (errno == ERANGE || v > INT_MAX) return false;
+    *out = static_cast<int>(v);
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+
+  Status ParseSteps() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("pattern has no steps");
+    }
+    while (true) {
+      Status status = ParseStep();
+      if (!status.ok()) return status;
+      SkipWs();
+      if (pos_ >= text_.size()) break;
+      // "->" separator, followed by a mandatory next step.
+      if (text_.compare(pos_, 2, "->") != 0) {
+        return Status::InvalidArgument(
+            StrCat("expected '->' at offset ", pos_, " in pattern"));
+      }
+      pos_ += 2;
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("trailing '->' without a step");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ParseStep() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of pattern");
+    }
+    const char op = text_[pos_];
+    if (op != 'r' && op != 'w' && op != 'x') {
+      return Status::InvalidArgument(
+          StrCat("expected step operator r/w/x at offset ", pos_));
+    }
+    ++pos_;
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Status::InvalidArgument(
+          StrCat("expected '(' at offset ", pos_));
+    }
+    ++pos_;
+    SkipWs();
+    std::string var;
+    while (pos_ < text_.size() &&
+           (std::isalnum(text_[pos_]) || text_[pos_] == '_')) {
+      var += text_[pos_++];
+    }
+    if (var.empty()) {
+      return Status::InvalidArgument(
+          StrCat("expected file variable at offset ", pos_));
+    }
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Status::InvalidArgument(
+          StrCat("expected ':' after variable at offset ", pos_));
+    }
+    ++pos_;
+    SkipWs();
+    size_t cost_start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == cost_start) {
+      return Status::InvalidArgument(
+          StrCat("expected cost after ':' at offset ", pos_));
+    }
+    const std::string cost_text = text_.substr(cost_start, pos_ - cost_start);
+    errno = 0;
+    char* end = nullptr;
+    const double cost = std::strtod(cost_text.c_str(), &end);
+    if (errno == ERANGE || end != cost_text.c_str() + cost_text.size() ||
+        !(cost >= 0.0) || !std::isfinite(cost)) {
+      return Status::InvalidArgument(
+          StrCat("bad cost '", cost_text, "' at offset ", cost_start));
+    }
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Status::InvalidArgument(
+          StrCat("expected ')' at offset ", pos_));
+    }
+    ++pos_;
+
+    PatternStepSpec step;
+    step.is_write = (op == 'w');
+    // 'x' reads under an exclusive lock (predeclared upgrade); 'w' locks X
+    // by virtue of the write itself.
+    step.request_mode = (op == 'r') ? LockMode::kShared : LockMode::kExclusive;
+    step.cost = cost;
+    step.file_var = VarIndex(var);
+    steps_.push_back(step);
+    return Status::Ok();
+  }
+
+  int VarIndex(const std::string& name) {
+    auto it = var_index_.find(name);
+    if (it != var_index_.end()) return it->second;
+    FileVarSpec spec;
+    auto pool = pools_.find(name);
+    if (pool != pools_.end()) {
+      spec.pool_lo = pool->second.first;
+      spec.pool_hi = pool->second.second;
+    } else {
+      spec.pool_lo = 0;
+      spec.pool_hi = static_cast<FileId>(num_files_ - 1);
+    }
+    spec.distinct_within_pool = true;
+    const int index = static_cast<int>(vars_.size());
+    vars_.push_back(spec);
+    var_index_[name] = index;
+    return index;
+  }
+
+  const std::string& text_;
+  int num_files_;
+  size_t pos_ = 0;
+  std::map<std::string, std::pair<FileId, FileId>> pools_;
+  std::map<std::string, int> var_index_;
+  std::vector<FileVarSpec> vars_;
+  std::vector<PatternStepSpec> steps_;
+};
+
+}  // namespace
+
+StatusOr<Pattern> ParsePattern(const std::string& text, int num_files) {
+  return Parser(text, num_files).Parse();
+}
+
+}  // namespace wtpgsched

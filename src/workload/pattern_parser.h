@@ -1,0 +1,32 @@
+#ifndef WTPG_SCHED_WORKLOAD_PATTERN_PARSER_H_
+#define WTPG_SCHED_WORKLOAD_PATTERN_PARSER_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+
+// Parses the paper's pattern notation into a Pattern:
+//
+//   "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)"
+//
+// Step syntax:   r(VAR:COST) reads, w(VAR:COST) writes, x(VAR:COST) reads
+//                with an exclusive lock requested up front (the paper's
+//                "X-locks are requested at the first two steps").
+// Variables:     any identifier; each distinct name becomes one file
+//                variable. By default every variable draws uniformly —
+//                distinct from its siblings — from [0, num_files).
+// Pools:         an optional prefix declares per-variable pools:
+//                  "B in [0,7]; F1,F2 in [8,15]: r(B:5) -> w(F1:1) -> w(F2:1)"
+//                Pool bounds are inclusive; variables sharing a pool draw
+//                distinct files.
+//
+// `num_files` bounds the default pool. Errors return InvalidArgument with a
+// position-annotated message.
+StatusOr<Pattern> ParsePattern(const std::string& text, int num_files);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_WORKLOAD_PATTERN_PARSER_H_

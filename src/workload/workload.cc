@@ -1,0 +1,72 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+WorkloadGenerator::WorkloadGenerator(Pattern pattern, double arrival_rate_tps,
+                                     int dd, ErrorModel error, uint64_t seed)
+    : WorkloadGenerator(
+          [&] {
+            std::vector<WeightedPattern> mix;
+            mix.push_back(WeightedPattern{std::move(pattern), 1.0});
+            return mix;
+          }(),
+          arrival_rate_tps, dd, error, seed) {}
+
+WorkloadGenerator::WorkloadGenerator(std::vector<WeightedPattern> mix,
+                                     double arrival_rate_tps, int dd,
+                                     ErrorModel error, uint64_t seed)
+    : mix_(std::move(mix)),
+      arrival_rate_tps_(arrival_rate_tps),
+      dd_(dd),
+      error_(error),
+      arrival_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+      pattern_rng_(seed ^ 0x7f4a7c159e3779b9ULL) {
+  WTPG_CHECK_GT(arrival_rate_tps_, 0.0);
+  WTPG_CHECK_GE(dd_, 1);
+  WTPG_CHECK(!mix_.empty()) << "workload mix must have a component";
+  for (const WeightedPattern& wp : mix_) {
+    WTPG_CHECK_GT(wp.weight, 0.0);
+    total_weight_ += wp.weight;
+  }
+}
+
+SimTime WorkloadGenerator::NextInterarrival() {
+  const double mean_seconds = 1.0 / arrival_rate_tps_;
+  const double gap = arrival_rng_.Exponential(mean_seconds);
+  return SecondsToTime(gap);
+}
+
+std::unique_ptr<Transaction> WorkloadGenerator::NextTransaction() {
+  const Pattern* pattern = &mix_.front().pattern;
+  int workload_class = 0;
+  if (mix_.size() > 1) {
+    double pick = pattern_rng_.NextDouble() * total_weight_;
+    for (size_t i = 0; i < mix_.size(); ++i) {
+      pick -= mix_[i].weight;
+      if (pick < 0.0) {
+        pattern = &mix_[i].pattern;
+        workload_class = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  auto steps = pattern->Instantiate(&pattern_rng_, dd_, error_);
+  auto txn = std::make_unique<Transaction>(next_id_++, std::move(steps));
+  txn->workload_class = workload_class;
+  return txn;
+}
+
+FileId WorkloadGenerator::MaxFileId() const {
+  FileId max_id = 0;
+  for (const WeightedPattern& wp : mix_) {
+    max_id = std::max(max_id, wp.pattern.MaxFileId());
+  }
+  return max_id;
+}
+
+}  // namespace wtpgsched

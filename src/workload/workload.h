@@ -1,0 +1,61 @@
+#ifndef WTPG_SCHED_WORKLOAD_WORKLOAD_H_
+#define WTPG_SCHED_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/transaction.h"
+#include "sim/time.h"
+#include "util/random.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+
+// One component of a workload mix.
+struct WeightedPattern {
+  Pattern pattern;
+  double weight = 1.0;  // Relative arrival share (> 0).
+};
+
+// Open workload source: Poisson arrivals of transactions instantiated from
+// one pattern or a weighted mix (the paper's motivation is OLTP machines
+// running "heavy mixed-workload" — a mix lets batches share the machine
+// with short transactions). Arrival times and pattern draws use independent
+// RNG streams so that the arrival sequence is identical across schedulers
+// at a given seed (common random numbers reduce cross-scheduler variance).
+class WorkloadGenerator {
+ public:
+  // `arrival_rate_tps` > 0; `dd` is the uniform degree of declustering.
+  WorkloadGenerator(Pattern pattern, double arrival_rate_tps, int dd,
+                    ErrorModel error, uint64_t seed);
+  WorkloadGenerator(std::vector<WeightedPattern> mix, double arrival_rate_tps,
+                    int dd, ErrorModel error, uint64_t seed);
+
+  // Exponentially distributed time to the next arrival, in SimTime units.
+  SimTime NextInterarrival();
+
+  // Builds the next transaction (ids are sequential from 1), drawing its
+  // pattern from the mix by weight.
+  std::unique_ptr<Transaction> NextTransaction();
+
+  const std::vector<WeightedPattern>& mix() const { return mix_; }
+  // Largest file id any mix component can reference.
+  FileId MaxFileId() const;
+  double arrival_rate_tps() const { return arrival_rate_tps_; }
+  int dd() const { return dd_; }
+  TxnId transactions_created() const { return next_id_ - 1; }
+
+ private:
+  std::vector<WeightedPattern> mix_;
+  double total_weight_ = 0.0;
+  double arrival_rate_tps_;
+  int dd_;
+  ErrorModel error_;
+  Rng arrival_rng_;
+  Rng pattern_rng_;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,51 @@
+#include "wtpg/dot.h"
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+namespace {
+
+std::string Weight(double w) {
+  // Trim trailing zeros for readability.
+  std::string s = FormatDouble(w, 2);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+}  // namespace
+
+std::string ToDot(const Wtpg& graph, const std::string& title) {
+  std::string out = StrCat("digraph \"", title, "\" {\n",
+                           "  rankdir=LR;\n",
+                           "  node [shape=circle];\n",
+                           "  T0 [shape=doublecircle];\n");
+  for (TxnId id : graph.Nodes()) {
+    out += StrCat("  T", id, ";\n");
+    // T0 edge carries the remaining declared cost.
+    out += StrCat("  T0 -> T", id, " [label=\"", Weight(graph.remaining(id)),
+                  "\", color=gray];\n");
+  }
+  // Each edge once (Nodes() ascending; emit for a < b).
+  for (TxnId a : graph.Nodes()) {
+    for (TxnId b : graph.Neighbors(a)) {
+      if (b < a) continue;
+      const Wtpg::Edge* e = graph.FindEdge(a, b);
+      if (e->oriented) {
+        const TxnId from = e->from;
+        const TxnId to = (e->from == e->a) ? e->b : e->a;
+        const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
+        out += StrCat("  T", from, " -> T", to, " [label=\"", Weight(w),
+                      "\", penwidth=2];\n");
+      } else {
+        out += StrCat("  T", e->a, " -> T", e->b, " [label=\"",
+                      Weight(e->weight_ab), "/", Weight(e->weight_ba),
+                      "\", dir=both, style=dashed];\n");
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,21 @@
+#ifndef WTPG_SCHED_WTPG_DOT_H_
+#define WTPG_SCHED_WTPG_DOT_H_
+
+#include <string>
+
+#include "wtpg/wtpg.h"
+
+namespace wtpgsched {
+
+// Renders a WTPG as Graphviz DOT for debugging and documentation, in the
+// style of the paper's figures: T0 with its weighted edges to every
+// transaction, solid arrows for determined precedence edges (labelled with
+// the direction's weight), and dashed double-ended arrows for undetermined
+// conflict edges (labelled with both weights).
+//
+//   dot -Tpng graph.dot -o graph.png
+std::string ToDot(const Wtpg& graph, const std::string& title = "WTPG");
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_WTPG_DOT_H_

@@ -1,0 +1,310 @@
+#include "wtpg/wtpg.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+namespace {
+
+void EraseValue(std::vector<TxnId>* list, TxnId value) {
+  list->erase(std::remove(list->begin(), list->end(), value), list->end());
+}
+
+}  // namespace
+
+void Wtpg::AddNode(TxnId id, double remaining) {
+  WTPG_CHECK_GE(remaining, 0.0);
+  auto [it, inserted] = nodes_.emplace(id, Node{remaining, {}, {}, {}});
+  (void)it;
+  WTPG_CHECK(inserted) << "node T" << id << " already in WTPG";
+}
+
+void Wtpg::AddConflictEdge(TxnId a, TxnId b, double weight_ab,
+                           double weight_ba) {
+  WTPG_CHECK_NE(a, b);
+  WTPG_CHECK(HasNode(a)) << "T" << a;
+  WTPG_CHECK(HasNode(b)) << "T" << b;
+  WTPG_CHECK_GE(weight_ab, 0.0);
+  WTPG_CHECK_GE(weight_ba, 0.0);
+  Edge edge;
+  if (a < b) {
+    edge = Edge{a, b, weight_ab, weight_ba, false, kInvalidTxn};
+  } else {
+    edge = Edge{b, a, weight_ba, weight_ab, false, kInvalidTxn};
+  }
+  auto [it, inserted] = edges_.emplace(MakeKey(a, b), edge);
+  (void)it;
+  WTPG_CHECK(inserted) << "edge (T" << a << ",T" << b << ") already in WTPG";
+  nodes_.at(a).neighbors.push_back(b);
+  nodes_.at(b).neighbors.push_back(a);
+}
+
+void Wtpg::RemoveNode(TxnId id) {
+  auto it = nodes_.find(id);
+  WTPG_CHECK(it != nodes_.end()) << "RemoveNode: T" << id << " not in WTPG";
+  for (TxnId nb : it->second.neighbors) {
+    edges_.erase(MakeKey(id, nb));
+    Node& other = nodes_.at(nb);
+    EraseValue(&other.neighbors, id);
+    EraseValue(&other.out, id);
+    EraseValue(&other.in, id);
+  }
+  nodes_.erase(it);
+}
+
+void Wtpg::SetRemaining(TxnId id, double remaining) {
+  WTPG_CHECK_GE(remaining, 0.0);
+  nodes_.at(id).remaining = remaining;
+}
+
+double Wtpg::remaining(TxnId id) const { return nodes_.at(id).remaining; }
+
+const Wtpg::Edge* Wtpg::FindEdge(TxnId a, TxnId b) const {
+  auto it = edges_.find(MakeKey(a, b));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+Wtpg::Edge* Wtpg::MutableEdge(TxnId a, TxnId b) {
+  auto it = edges_.find(MakeKey(a, b));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+bool Wtpg::IsOriented(TxnId from, TxnId to) const {
+  const Edge* e = FindEdge(from, to);
+  return e != nullptr && e->oriented && e->from == from;
+}
+
+void Wtpg::MarkOriented(TxnId from, TxnId to) {
+  Edge* e = MutableEdge(from, to);
+  WTPG_CHECK(e != nullptr);
+  WTPG_CHECK(!e->oriented);
+  e->oriented = true;
+  e->from = from;
+  nodes_.at(from).out.push_back(to);
+  nodes_.at(to).in.push_back(from);
+}
+
+std::unordered_set<TxnId> Wtpg::ReachableSet(TxnId start, bool reverse) const {
+  std::unordered_set<TxnId> visited = {start};
+  std::vector<TxnId> stack = {start};
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_.at(cur);
+    for (TxnId nb : reverse ? node.in : node.out) {
+      if (visited.insert(nb).second) stack.push_back(nb);
+    }
+  }
+  return visited;
+}
+
+bool Wtpg::HasPath(TxnId from, TxnId to) const {
+  if (from == to) return true;
+  std::unordered_set<TxnId> visited = {from};
+  std::vector<TxnId> stack = {from};
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    for (TxnId nb : nodes_.at(cur).out) {
+      if (nb == to) return true;
+      if (visited.insert(nb).second) stack.push_back(nb);
+    }
+  }
+  return false;
+}
+
+bool Wtpg::WouldCycle(TxnId from, const std::vector<TxnId>& targets) const {
+  if (targets.empty()) return false;
+  const std::unordered_set<TxnId> ancestors =
+      ReachableSet(from, /*reverse=*/true);
+  for (TxnId u : targets) {
+    if (u == from) return true;
+    const Edge* e = FindEdge(from, u);
+    WTPG_CHECK(e != nullptr) << "WouldCycle: no edge T" << from << "-T" << u;
+    if (e->oriented && e->from == u) return true;
+    if (ancestors.count(u)) return true;
+  }
+  return false;
+}
+
+bool Wtpg::OrientBatchNoRollback(TxnId from,
+                                 const std::vector<TxnId>& targets) {
+  if (WouldCycle(from, targets)) return false;
+  // Mark the new precedence edges.
+  bool any_new = false;
+  for (TxnId u : targets) {
+    const Edge* e = FindEdge(from, u);
+    WTPG_CHECK(e != nullptr);
+    if (e->oriented) continue;  // Already from -> u (WouldCycle checked).
+    MarkOriented(from, u);
+    any_new = true;
+  }
+  if (!any_new) return true;
+  // Forced transitive closure. Every path created by this batch runs
+  // x ~> from -> u ~> y, so the newly forced conflict edges connect an
+  // ancestor of `from` to a descendant of `from`; cascaded forcings are
+  // handled the same way via the worklist. The invariant that closure was
+  // fully applied before guarantees no older forcing is missed.
+  std::vector<TxnId> worklist = {from};
+  while (!worklist.empty()) {
+    const TxnId source = worklist.back();
+    worklist.pop_back();
+    const std::unordered_set<TxnId> ancestors =
+        ReachableSet(source, /*reverse=*/true);
+    const std::unordered_set<TxnId> descendants =
+        ReachableSet(source, /*reverse=*/false);
+    // Candidate edges are the unoriented edges incident to an ancestor.
+    std::vector<std::pair<TxnId, TxnId>> forced;
+    for (TxnId x : ancestors) {
+      for (TxnId nb : nodes_.at(x).neighbors) {
+        const Edge* e = FindEdge(x, nb);
+        if (e->oriented) continue;
+        if (descendants.count(nb)) {
+          // x ~> source ~> nb forces x -> nb; if nb also reaches x the
+          // graph already contains a cycle through this batch — fail.
+          if (ancestors.count(nb) || HasPath(nb, x)) return false;
+          forced.emplace_back(x, nb);
+        }
+      }
+    }
+    for (const auto& [x, y] : forced) {
+      const Edge* e = FindEdge(x, y);
+      if (e->oriented) {
+        // A previous forcing in this batch handled it; direction must match.
+        if (e->from != x) return false;
+        continue;
+      }
+      MarkOriented(x, y);
+      worklist.push_back(x);
+    }
+  }
+  return true;
+}
+
+bool Wtpg::TryOrient(TxnId from, TxnId to) {
+  const Edge* e = FindEdge(from, to);
+  WTPG_CHECK(e != nullptr) << "TryOrient on nonexistent edge T" << from
+                           << "->T" << to;
+  if (e->oriented) return e->from == from;
+  if (WouldCycle(from, {to})) return false;
+  // Work on a copy so a failed closure leaves *this untouched.
+  Wtpg copy = *this;
+  if (!copy.OrientBatchNoRollback(from, {to})) return false;
+  *this = std::move(copy);
+  return true;
+}
+
+bool Wtpg::CanOrient(TxnId from, TxnId to) const {
+  const Edge* e = FindEdge(from, to);
+  if (e == nullptr) return false;
+  if (e->oriented) return e->from == from;
+  Wtpg copy = *this;
+  return copy.OrientBatchNoRollback(from, {to});
+}
+
+double Wtpg::CriticalPath() const {
+  if (nodes_.empty()) return 0.0;
+  // Longest-path DP over the oriented sub-DAG, memoized DFS:
+  //   dist(v) = max(remaining(v), max over oriented u->v of dist(u) + w(u,v))
+  std::unordered_map<TxnId, double> dist;
+  std::function<double(TxnId)> eval = [&](TxnId v) -> double {
+    auto it = dist.find(v);
+    if (it != dist.end()) {
+      WTPG_CHECK_GE(it->second, 0.0) << "cycle in oriented WTPG";
+      return it->second;
+    }
+    // Negative marker guards against cycles (fail loudly, not forever).
+    dist.emplace(v, -1.0);
+    const Node& node = nodes_.at(v);
+    double best = node.remaining;
+    for (TxnId nb : node.in) {
+      const Edge* e = FindEdge(nb, v);
+      const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
+      best = std::max(best, eval(nb) + w);
+    }
+    dist[v] = best;
+    return best;
+  };
+  double critical = 0.0;
+  for (const auto& [id, node] : nodes_) {
+    (void)node;
+    critical = std::max(critical, eval(id));
+  }
+  return critical;
+}
+
+std::vector<TxnId> Wtpg::Nodes() const {
+  std::vector<TxnId> result;
+  result.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    (void)node;
+    result.push_back(id);
+  }
+  return result;
+}
+
+std::vector<TxnId> Wtpg::Neighbors(TxnId id) const {
+  auto it = nodes_.find(id);
+  WTPG_CHECK(it != nodes_.end());
+  return it->second.neighbors;
+}
+
+std::vector<std::pair<TxnId, TxnId>> Wtpg::UnorientedEdges() const {
+  std::vector<std::pair<TxnId, TxnId>> result;
+  for (const auto& [key, edge] : edges_) {
+    if (!edge.oriented) result.push_back(key);
+  }
+  return result;
+}
+
+bool Wtpg::CheckInvariants() const {
+  for (const auto& [key, edge] : edges_) {
+    if (!HasNode(edge.a) || !HasNode(edge.b)) return false;
+    if (key != MakeKey(edge.a, edge.b)) return false;
+    if (edge.oriented && edge.from != edge.a && edge.from != edge.b) {
+      return false;
+    }
+  }
+  // Adjacency lists consistent with edge states.
+  for (const auto& [id, node] : nodes_) {
+    for (TxnId nb : node.out) {
+      if (!IsOriented(id, nb)) return false;
+    }
+    for (TxnId nb : node.in) {
+      if (!IsOriented(nb, id)) return false;
+    }
+    size_t oriented_count = 0;
+    for (TxnId nb : node.neighbors) {
+      const Edge* e = FindEdge(id, nb);
+      if (e == nullptr) return false;
+      if (e->oriented) ++oriented_count;
+    }
+    if (oriented_count != node.out.size() + node.in.size()) return false;
+  }
+  // Oriented subgraph must be acyclic.
+  for (const auto& [key, edge] : edges_) {
+    (void)key;
+    if (!edge.oriented) continue;
+    const TxnId to = (edge.from == edge.a) ? edge.b : edge.a;
+    if (HasPath(to, edge.from)) return false;
+  }
+  // Closure fully applied: no unoriented edge with a connecting path.
+  for (const auto& [key, edge] : edges_) {
+    (void)key;
+    if (edge.oriented) continue;
+    if (HasPath(edge.a, edge.b) || HasPath(edge.b, edge.a)) return false;
+  }
+  return true;
+}
+
+double EvaluateGrant(const Wtpg& g, TxnId grantee,
+                     const std::vector<TxnId>& orient_to) {
+  Wtpg copy = g;
+  if (!copy.OrientBatchNoRollback(grantee, orient_to)) return kInfiniteCost;
+  return copy.CriticalPath();
+}
+
+}  // namespace wtpgsched

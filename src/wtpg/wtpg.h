@@ -1,0 +1,181 @@
+#ifndef WTPG_SCHED_WTPG_WTPG_H_
+#define WTPG_SCHED_WTPG_WTPG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "model/types.h"
+
+namespace wtpgsched {
+
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+// Weighted Transaction-Precedence Graph (paper Section 3.1).
+//
+// Nodes are active transactions plus two virtual transactions: T0 (precedes
+// everything) and Tf (preceded by everything). A pair of transactions with
+// declared conflicting accesses is connected by a *conflict edge* carrying a
+// weight in each direction; once their serialization order is determined the
+// edge becomes a *precedence edge* in one direction.
+//
+// Weights:
+//   w(a->b) = b's declared I/O cost from its first step conflicting with a
+//             through its last step ("if b is blocked by a and a commits
+//             now, b still has w objects to access before it commits").
+//             Static for the lifetime of the edge.
+//   w(T0->a) = a's remaining declared cost; updated as the schedule
+//              proceeds (the only weights that change).
+//   w(a->Tf) = 0 (updated data flushed right after write-ahead logging).
+//
+// The critical path is the longest T0 -> Tf path over precedence edges.
+//
+// Orientation enforces *forced transitive closure*: after a->b is fixed, any
+// conflict edge (x, y) connected by a directed path x ~> y must become
+// x -> y (its reverse would create a cycle, i.e. a non-serializable order /
+// deadlock). Orientation operations apply the closure and reject
+// orientations that would create a cycle.
+//
+// The graph is copyable: LOW's E(q) evaluates hypothetical grants on clones.
+// Saturated C2PL runs grow this graph to hundreds of nodes, so the
+// reachability paths keep dedicated oriented adjacency lists (no per-edge
+// map lookups in DFS).
+class Wtpg {
+ public:
+  struct Edge {
+    TxnId a = kInvalidTxn;  // Normalized: a < b.
+    TxnId b = kInvalidTxn;
+    double weight_ab = 0.0;  // Used when oriented a -> b.
+    double weight_ba = 0.0;  // Used when oriented b -> a.
+    bool oriented = false;
+    TxnId from = kInvalidTxn;  // Valid when oriented: a or b.
+  };
+
+  Wtpg() = default;
+  // Copyable by design (hypothetical evaluation).
+  Wtpg(const Wtpg&) = default;
+  Wtpg& operator=(const Wtpg&) = default;
+
+  // --- Structure ---
+
+  // Adds a transaction node with its T0-edge weight (remaining declared
+  // cost). The node must not already exist.
+  void AddNode(TxnId id, double remaining);
+
+  // Adds a conflict edge between existing nodes a and b.
+  // weight_ab = w(a->b), weight_ba = w(b->a). The pair must not already
+  // have an edge.
+  void AddConflictEdge(TxnId a, TxnId b, double weight_ab, double weight_ba);
+
+  // Removes a node (at commit) and all its edges.
+  void RemoveNode(TxnId id);
+
+  bool HasNode(TxnId id) const { return nodes_.count(id) > 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  // --- Weights ---
+
+  void SetRemaining(TxnId id, double remaining);
+  double remaining(TxnId id) const;
+
+  // --- Edges & orientation ---
+
+  // Returns the edge between a and b, or nullptr.
+  const Edge* FindEdge(TxnId a, TxnId b) const;
+
+  // True if the pair's edge exists and is oriented from -> to.
+  bool IsOriented(TxnId from, TxnId to) const;
+
+  // Orients from -> to and applies forced transitive closure. Returns false
+  // — leaving the graph unchanged — if the edge is already oriented the
+  // other way or the closure would create a cycle. Orienting an edge that
+  // is already from -> to is a no-op returning true.
+  bool TryOrient(TxnId from, TxnId to);
+
+  // Non-mutating: would TryOrient(from, to) succeed?
+  bool CanOrient(TxnId from, TxnId to) const;
+
+  // Orients from -> to for every target, with closure, without rollback: on
+  // failure (cycle) the graph may be left partially oriented. Only for
+  // throwaway copies or when failure is a fatal bug — it skips the
+  // defensive clone, which matters on large graphs. Targets already
+  // oriented from -> to are fine; a target oriented to -> from fails.
+  bool OrientBatchNoRollback(TxnId from, const std::vector<TxnId>& targets);
+
+  bool OrientNoRollback(TxnId from, TxnId to) {
+    return OrientBatchNoRollback(from, {to});
+  }
+
+  // True if a directed path from -> ... -> to exists over oriented edges.
+  bool HasPath(TxnId from, TxnId to) const;
+
+  // True if orienting from -> target for every target would create a cycle,
+  // i.e. some target already reaches `from`. (Any cycle through the new
+  // edges must close over a pre-existing path back into `from`, since all
+  // new edges leave `from`.) Non-mutating and clone-free.
+  bool WouldCycle(TxnId from, const std::vector<TxnId>& targets) const;
+
+  // --- Queries ---
+
+  // Longest T0 -> Tf path over oriented edges:
+  //   max over paths (v1, ..., vk): remaining(v1) + sum w(vi -> vi+1).
+  // Conflict (unoriented) edges are ignored. Returns 0 for an empty graph.
+  double CriticalPath() const;
+
+  // All nodes (ascending id).
+  std::vector<TxnId> Nodes() const;
+
+  // Neighbors of `id` over *any* edge (conflict or precedence) — the
+  // undirected "conflicts-with" adjacency used by the chain-form test.
+  std::vector<TxnId> Neighbors(TxnId id) const;
+
+  // Unoriented conflict edges only, as (a, b) pairs with a < b.
+  std::vector<std::pair<TxnId, TxnId>> UnorientedEdges() const;
+
+  // Verifies internal invariants (edges reference live nodes; adjacency
+  // lists consistent; oriented subgraph acyclic; closure fully applied).
+  // For tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    double remaining = 0.0;
+    std::vector<TxnId> neighbors;  // Any edge.
+    std::vector<TxnId> out;        // Oriented this -> other.
+    std::vector<TxnId> in;         // Oriented other -> this.
+  };
+  using EdgeKey = std::pair<TxnId, TxnId>;  // Normalized (min, max).
+
+  static EdgeKey MakeKey(TxnId a, TxnId b) {
+    return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+  }
+
+  Edge* MutableEdge(TxnId a, TxnId b);
+
+  // Marks the edge oriented and updates adjacency. The edge must be
+  // unoriented.
+  void MarkOriented(TxnId from, TxnId to);
+
+  // Nodes reachable from `start` over oriented edges (descendants), or
+  // reaching `start` when `reverse` (ancestors). Includes `start`.
+  std::unordered_set<TxnId> ReachableSet(TxnId start, bool reverse) const;
+
+  std::map<TxnId, Node> nodes_;
+  std::map<EdgeKey, Edge> edges_;
+};
+
+// Hypothetical grant evaluation used by LOW's E(q) (paper Fig. 5) and by
+// tests: clones `g`, orients grantee -> u for every u in `orient_to` (with
+// closure), and returns the resulting critical path — or kInfiniteCost if
+// any orientation would deadlock (cycle).
+double EvaluateGrant(const Wtpg& g, TxnId grantee,
+                     const std::vector<TxnId>& orient_to);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_WTPG_WTPG_H_

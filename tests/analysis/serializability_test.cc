@@ -1,0 +1,131 @@
+#include "analysis/serializability.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+constexpr LockMode kS = LockMode::kShared;
+constexpr LockMode kX = LockMode::kExclusive;
+
+TEST(SerializabilityTest, EmptyLogIsSerializable) {
+  ScheduleLog log;
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, SingleTransaction) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);
+  log.RecordCommit(1, 0);
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, SerialHistoryOk) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);
+  log.RecordAccess(1, 0, 1, kX, 20);
+  log.RecordAccess(2, 0, 0, kX, 30);
+  log.RecordAccess(2, 0, 1, kX, 40);
+  log.RecordCommit(1, 0);
+  log.RecordCommit(2, 0);
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, DetectsWriteWriteCycle) {
+  // T1 writes A before T2, but T2 writes B before T1: cycle.
+  ScheduleLog log;
+  log.RecordAccess(1, 0, /*file=*/0, kX, 10);
+  log.RecordAccess(2, 0, /*file=*/1, kX, 15);
+  log.RecordAccess(2, 0, /*file=*/0, kX, 20);
+  log.RecordAccess(1, 0, /*file=*/1, kX, 25);
+  log.RecordCommit(1, 0);
+  log.RecordCommit(2, 0);
+  const SerializabilityResult result = CheckConflictSerializability(log);
+  EXPECT_FALSE(result.serializable);
+  EXPECT_GE(result.cycle.size(), 2u);
+  EXPECT_NE(result.ToString().find("NOT"), std::string::npos);
+}
+
+TEST(SerializabilityTest, SharedReadsNeverConflict) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kS, 10);
+  log.RecordAccess(2, 0, 0, kS, 15);
+  log.RecordAccess(1, 0, 1, kS, 20);
+  log.RecordAccess(2, 0, 1, kS, 5);
+  log.RecordCommit(1, 0);
+  log.RecordCommit(2, 0);
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, ReadWriteCycleDetected) {
+  // T1 reads A then T2 writes A (T1 -> T2); T2 reads B then T1 writes B
+  // (T2 -> T1): cycle.
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kS, 10);
+  log.RecordAccess(2, 0, 1, kS, 12);
+  log.RecordAccess(2, 0, 0, kX, 20);
+  log.RecordAccess(1, 0, 1, kX, 22);
+  log.RecordCommit(1, 0);
+  log.RecordCommit(2, 0);
+  EXPECT_FALSE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, UncommittedAccessesIgnored) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);
+  log.RecordAccess(2, 0, 1, kX, 15);
+  log.RecordAccess(2, 0, 0, kX, 20);
+  log.RecordAccess(1, 0, 1, kX, 25);
+  log.RecordCommit(1, 0);
+  // T2 never commits: its accesses drop out, no cycle remains.
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, AbortedIncarnationIgnored) {
+  // T2's incarnation 0 formed a cycle, but only incarnation 1 committed.
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);
+  log.RecordAccess(2, /*incarnation=*/0, 1, kX, 15);
+  log.RecordAccess(2, /*incarnation=*/0, 0, kX, 20);
+  log.RecordAccess(1, 0, 1, kX, 25);
+  log.RecordAccess(2, /*incarnation=*/1, 1, kX, 40);
+  log.RecordAccess(2, /*incarnation=*/1, 0, kX, 45);
+  log.RecordCommit(1, 0);
+  log.RecordCommit(2, 1);
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, EqualTimesBreakBySequence) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);  // Sequence 0.
+  log.RecordAccess(2, 0, 0, kX, 10);  // Sequence 1: after T1.
+  log.RecordCommit(1, 0);
+  log.RecordCommit(2, 0);
+  EXPECT_TRUE(CheckConflictSerializability(log).serializable);
+}
+
+TEST(SerializabilityTest, ThreeWayCycle) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);  // 1 -> 2 on file 0.
+  log.RecordAccess(2, 0, 0, kX, 20);
+  log.RecordAccess(2, 0, 1, kX, 30);  // 2 -> 3 on file 1.
+  log.RecordAccess(3, 0, 1, kX, 40);
+  log.RecordAccess(3, 0, 2, kX, 50);  // 3 -> 1 on file 2.
+  log.RecordAccess(1, 0, 2, kX, 60);
+  for (TxnId id : {1, 2, 3}) log.RecordCommit(id, 0);
+  const SerializabilityResult result = CheckConflictSerializability(log);
+  EXPECT_FALSE(result.serializable);
+  EXPECT_EQ(result.cycle.size(), 3u);
+}
+
+TEST(ScheduleLogTest, ClearResets) {
+  ScheduleLog log;
+  log.RecordAccess(1, 0, 0, kX, 10);
+  log.RecordCommit(1, 0);
+  log.Clear();
+  EXPECT_TRUE(log.accesses().empty());
+  EXPECT_TRUE(log.committed().empty());
+}
+
+}  // namespace
+}  // namespace wtpgsched

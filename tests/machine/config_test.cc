@@ -1,0 +1,78 @@
+#include "machine/config.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(ConfigTest, DefaultsMatchTable1) {
+  SimConfig c;
+  EXPECT_EQ(c.num_nodes, 8);
+  EXPECT_DOUBLE_EQ(c.obj_time_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(c.msg_time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(c.sot_time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(c.cot_time_ms, 7.0);
+  EXPECT_DOUBLE_EQ(c.dd_time_ms, 1.0);
+  EXPECT_DOUBLE_EQ(c.kwtpg_time_ms, 10.0);
+  EXPECT_DOUBLE_EQ(c.chain_time_ms, 30.0);
+  EXPECT_DOUBLE_EQ(c.top_time_ms, 5.0);
+  EXPECT_DOUBLE_EQ(c.horizon_ms, 2'000'000);
+  EXPECT_EQ(c.low_k, 2);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, HorizonConversion) {
+  SimConfig c;
+  EXPECT_EQ(c.horizon(), MsToTime(2'000'000));
+  EXPECT_EQ(c.warmup(), 0);
+}
+
+TEST(ConfigTest, RejectsBadDd) {
+  SimConfig c;
+  c.dd = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.dd = 9;  // > num_nodes.
+  EXPECT_FALSE(c.Validate().ok());
+  c.dd = 8;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNonPositiveRate) {
+  SimConfig c;
+  c.arrival_rate_tps = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNegativeCosts) {
+  SimConfig c;
+  c.msg_time_ms = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsWarmupPastHorizon) {
+  SimConfig c;
+  c.warmup_ms = c.horizon_ms;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadMplAndK) {
+  SimConfig c;
+  c.mpl = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.mpl = 1;
+  c.low_k = -1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, SchedulerKindNames) {
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kNodc), "NODC");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kAsl), "ASL");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kC2pl), "C2PL");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kOpt), "OPT");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kGow), "GOW");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kLow), "LOW");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kLowLb), "LOW-LB");
+}
+
+}  // namespace
+}  // namespace wtpgsched

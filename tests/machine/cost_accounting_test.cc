@@ -1,0 +1,106 @@
+// Precise accounting of the Table-1 CPU costs on the control node for a
+// single isolated transaction — pins the execution flow (startup, lock
+// decisions, two messages per step, commit) against hand-computed totals.
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+
+namespace wtpgsched {
+namespace {
+
+// One Pattern-1 transaction, 4 steps, 2 lock requests; horizon 100 s.
+SimConfig OneShotConfig(SchedulerKind kind) {
+  SimConfig c;
+  c.scheduler = kind;
+  c.num_files = 16;
+  c.dd = 1;
+  c.arrival_rate_tps = 1.0;
+  c.max_arrivals = 1;
+  c.horizon_ms = 100'000;
+  c.seed = 3;
+  return c;
+}
+
+double CnBusyMs(const RunStats& stats, const SimConfig& c) {
+  return stats.cn_utilization * c.horizon_ms;
+}
+
+TEST(CostAccountingTest, NodcControlNodeTime) {
+  // sot 2 + 2 lock decisions x 0 + 4 steps x 2 msg x 2 + cot 7 = 25 ms.
+  const SimConfig c = OneShotConfig(SchedulerKind::kNodc);
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_EQ(stats.completions, 1u);
+  EXPECT_NEAR(CnBusyMs(stats, c), 25.0, 1e-6);
+}
+
+TEST(CostAccountingTest, C2plControlNodeTime) {
+  // NODC total + 2 lock decisions x ddtime 1 = 27 ms.
+  const SimConfig c = OneShotConfig(SchedulerKind::kC2pl);
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_EQ(stats.completions, 1u);
+  EXPECT_NEAR(CnBusyMs(stats, c), 27.0, 1e-6);
+}
+
+TEST(CostAccountingTest, GowControlNodeTime) {
+  // sot 2 + chain test 5 + 2 x chaintime 30 + 16 msg + cot 7 = 90 ms.
+  const SimConfig c = OneShotConfig(SchedulerKind::kGow);
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_EQ(stats.completions, 1u);
+  EXPECT_NEAR(CnBusyMs(stats, c), 90.0, 1e-6);
+}
+
+TEST(CostAccountingTest, LowControlNodeTime) {
+  // sot 2 + 2 x kwtpgtime 10 (no competitors: 1 eval each) + 16 + 7 = 45.
+  const SimConfig c = OneShotConfig(SchedulerKind::kLow);
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_EQ(stats.completions, 1u);
+  EXPECT_NEAR(CnBusyMs(stats, c), 45.0, 1e-6);
+}
+
+TEST(CostAccountingTest, AslControlNodeTime) {
+  // sot 2 + atomic preclaim (free) + no per-step lock decisions + 16 + 7.
+  const SimConfig c = OneShotConfig(SchedulerKind::kAsl);
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_EQ(stats.completions, 1u);
+  EXPECT_NEAR(CnBusyMs(stats, c), 25.0, 1e-6);
+}
+
+TEST(CostAccountingTest, ResponseTimeDecomposition) {
+  // Isolated NODC transaction: CN costs (25 ms) + scan 7.2 s = 7.225 s.
+  const SimConfig c = OneShotConfig(SchedulerKind::kNodc);
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  EXPECT_NEAR(stats.mean_response_s, 7.225, 1e-6);
+}
+
+TEST(CostAccountingTest, ResponseTimeAtDd8) {
+  // Scan time 7.2/8 = 0.9 s plus the same 25 ms of CN work.
+  SimConfig c = OneShotConfig(SchedulerKind::kNodc);
+  c.dd = 8;
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  EXPECT_NEAR(stats.mean_response_s, 0.925, 1e-6);
+}
+
+TEST(CostAccountingTest, DpnBusyTimeEqualsScanDemand) {
+  // 7.2 objects at 1 s/object spread over the DPNs; utilization integral
+  // must equal the demand regardless of DD.
+  for (int dd : {1, 2, 8}) {
+    SimConfig c = OneShotConfig(SchedulerKind::kNodc);
+    c.dd = dd;
+    Machine m(c, Pattern::Experiment1(16));
+    const RunStats stats = m.Run();
+    const double total_busy_s =
+        stats.mean_dpn_utilization * 8 * (c.horizon_ms / 1000.0);
+    EXPECT_NEAR(total_busy_s, 7.2, 1e-6) << "dd=" << dd;
+  }
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,66 @@
+#include "machine/data_placement.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(DataPlacementTest, HomeNodeIsFileModNodes) {
+  DataPlacement p(8, 16, 1);
+  EXPECT_EQ(p.HomeNode(0), 0);
+  EXPECT_EQ(p.HomeNode(7), 7);
+  EXPECT_EQ(p.HomeNode(8), 0);
+  EXPECT_EQ(p.HomeNode(15), 7);
+}
+
+TEST(DataPlacementTest, Dd1SinglePartitionAtHome) {
+  DataPlacement p(8, 16, 1);
+  EXPECT_EQ(p.NodeFor(5, 0), 5);
+}
+
+TEST(DataPlacementTest, PartitionsAreConsecutiveNodes) {
+  DataPlacement p(8, 16, 4);
+  EXPECT_EQ(p.NodeFor(2, 0), 2);
+  EXPECT_EQ(p.NodeFor(2, 1), 3);
+  EXPECT_EQ(p.NodeFor(2, 2), 4);
+  EXPECT_EQ(p.NodeFor(2, 3), 5);
+}
+
+TEST(DataPlacementTest, PartitionsWrapAround) {
+  DataPlacement p(8, 16, 4);
+  EXPECT_EQ(p.NodeFor(6, 0), 6);
+  EXPECT_EQ(p.NodeFor(6, 1), 7);
+  EXPECT_EQ(p.NodeFor(6, 2), 0);
+  EXPECT_EQ(p.NodeFor(6, 3), 1);
+}
+
+TEST(DataPlacementTest, FullDeclusteringCoversAllNodes) {
+  DataPlacement p(8, 16, 8);
+  std::vector<bool> seen(8, false);
+  for (int c = 0; c < 8; ++c) seen[static_cast<size_t>(p.NodeFor(3, c))] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DataPlacementTest, BalancedHomesExp2Layout) {
+  // Experiment 2's layout: 8 read-only files (0..7) and 8 hot files
+  // (8..15); each node must be home to exactly one of each.
+  DataPlacement p(8, 16, 1);
+  std::vector<int> read_only(8, 0);
+  std::vector<int> hot(8, 0);
+  for (FileId f = 0; f < 8; ++f) ++read_only[static_cast<size_t>(p.HomeNode(f))];
+  for (FileId f = 8; f < 16; ++f) ++hot[static_cast<size_t>(p.HomeNode(f))];
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(read_only[static_cast<size_t>(i)], 1);
+    EXPECT_EQ(hot[static_cast<size_t>(i)], 1);
+  }
+}
+
+TEST(DataPlacementDeathTest, RejectsOutOfRange) {
+  DataPlacement p(8, 16, 2);
+  EXPECT_DEATH(p.HomeNode(16), "");
+  EXPECT_DEATH(p.NodeFor(0, 2), "");
+  EXPECT_DEATH(p.NodeFor(0, -1), "");
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,94 @@
+// Unit tests for the thin node wrappers: ControlNode cost categories and
+// Dpn object-based service with backlog accounting.
+
+#include <gtest/gtest.h>
+
+#include "machine/control_node.h"
+#include "machine/dpn.h"
+
+namespace wtpgsched {
+namespace {
+
+SimConfig Table1() { return SimConfig(); }
+
+TEST(ControlNodeTest, CostCategories) {
+  Simulator sim;
+  ControlNode cn(&sim, Table1());
+  SimTime startup_done = -1;
+  SimTime commit_done = -1;
+  SimTime msg_done = -1;
+  cn.SubmitStartup(MsToTime(5.0), [&] { startup_done = sim.Now(); });
+  cn.SubmitCommit([&] { commit_done = sim.Now(); });
+  cn.SubmitMessage([&] { msg_done = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(startup_done, MsToTime(7.0));   // sot 2 + extra 5.
+  EXPECT_EQ(commit_done, MsToTime(14.0));   // + cot 7.
+  EXPECT_EQ(msg_done, MsToTime(16.0));      // + msg 2.
+  EXPECT_EQ(cn.busy_time(), MsToTime(16.0));
+}
+
+TEST(ControlNodeTest, GenericWork) {
+  Simulator sim;
+  ControlNode cn(&sim, Table1());
+  SimTime done = -1;
+  cn.SubmitWork(MsToTime(30.0), [&] { done = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done, MsToTime(30.0));
+}
+
+TEST(DpnTest, ScanTimeIsObjectsTimesObjTime) {
+  Simulator sim;
+  Dpn dpn(&sim, 0, /*obj_time_ms=*/1000.0);
+  SimTime done = -1;
+  dpn.SubmitCohort(/*objects=*/2.5, /*quantum_objects=*/1.0,
+                   [&] { done = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done, MsToTime(2500.0));
+  EXPECT_EQ(dpn.cohorts_completed(), 1u);
+}
+
+TEST(DpnTest, RoundRobinBetweenCohorts) {
+  Simulator sim;
+  Dpn dpn(&sim, 3, 1000.0);
+  SimTime done_a = -1;
+  SimTime done_b = -1;
+  dpn.SubmitCohort(2.0, 1.0, [&] { done_a = sim.Now(); });
+  dpn.SubmitCohort(2.0, 1.0, [&] { done_b = sim.Now(); });
+  sim.RunToCompletion();
+  // Slices A1 B1 A1 B1 (seconds).
+  EXPECT_EQ(done_a, MsToTime(3000.0));
+  EXPECT_EQ(done_b, MsToTime(4000.0));
+}
+
+TEST(DpnTest, BacklogTracksOutstandingObjects) {
+  Simulator sim;
+  Dpn dpn(&sim, 1, 1000.0);
+  EXPECT_DOUBLE_EQ(dpn.BacklogObjects(), 0.0);
+  dpn.SubmitCohort(3.0, 1.0, nullptr);
+  dpn.SubmitCohort(2.0, 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(dpn.BacklogObjects(), 5.0);
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(dpn.BacklogObjects(), 0.0);
+}
+
+TEST(DpnTest, FractionalQuantum) {
+  Simulator sim;
+  Dpn dpn(&sim, 2, 1000.0);
+  SimTime done = -1;
+  // 0.2 objects at 1/8-object quantum: ceil(0.2 / 0.125) slices.
+  dpn.SubmitCohort(0.2, 0.125, [&] { done = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done, MsToTime(200.0));
+}
+
+TEST(DpnTest, ZeroObjectCohortCompletes) {
+  Simulator sim;
+  Dpn dpn(&sim, 0, 1000.0);
+  bool done = false;
+  dpn.SubmitCohort(0.0, 1.0, [&] { done = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace wtpgsched

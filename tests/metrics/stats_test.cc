@@ -1,0 +1,138 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+Transaction MakeTxn(TxnId id, SimTime arrival) {
+  Transaction t(id, {{0, LockMode::kShared, LockMode::kShared, 1.0, 1.0}});
+  t.arrival_time = arrival;
+  return t;
+}
+
+TEST(StatsCollectorTest, CountsArrivalsAndEvents) {
+  StatsCollector stats(0, SecondsToTime(100));
+  stats.RecordArrival();
+  stats.RecordArrival();
+  stats.RecordBlocked();
+  stats.RecordDelayed();
+  stats.RecordDelayed();
+  stats.RecordStartRejection();
+  stats.RecordRestart();
+  const RunStats r = stats.Finalize(0.5, 0.4, 0.6, 1);
+  EXPECT_EQ(r.arrivals, 2u);
+  EXPECT_EQ(r.blocked, 1u);
+  EXPECT_EQ(r.delayed, 2u);
+  EXPECT_EQ(r.start_rejections, 1u);
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_EQ(r.in_flight_at_end, 1u);
+  EXPECT_DOUBLE_EQ(r.cn_utilization, 0.5);
+}
+
+TEST(StatsCollectorTest, ResponseTimeFromArrivalToCompletion) {
+  StatsCollector stats(0, SecondsToTime(100));
+  Transaction t = MakeTxn(1, SecondsToTime(10));
+  stats.RecordCompletion(t, SecondsToTime(25));
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(r.mean_response_s, 15.0);
+  EXPECT_EQ(r.completions, 1u);
+  EXPECT_EQ(r.completions_measured, 1u);
+}
+
+TEST(StatsCollectorTest, ThroughputOverWindow) {
+  StatsCollector stats(0, SecondsToTime(50));
+  for (int i = 0; i < 10; ++i) {
+    Transaction t = MakeTxn(i, 0);
+    stats.RecordCompletion(t, SecondsToTime(i + 1));
+  }
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(r.throughput_tps, 0.2);  // 10 / 50 s.
+}
+
+TEST(StatsCollectorTest, WarmupExcludesEarlyCompletions) {
+  StatsCollector stats(SecondsToTime(20), SecondsToTime(120));
+  Transaction early = MakeTxn(1, SecondsToTime(1));
+  Transaction late = MakeTxn(2, SecondsToTime(30));
+  stats.RecordCompletion(early, SecondsToTime(10));  // Before warmup.
+  stats.RecordCompletion(late, SecondsToTime(40));
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  EXPECT_EQ(r.completions, 2u);
+  EXPECT_EQ(r.completions_measured, 1u);
+  EXPECT_DOUBLE_EQ(r.mean_response_s, 10.0);  // Only the late one.
+  EXPECT_DOUBLE_EQ(r.throughput_tps, 0.01);   // 1 / (120 - 20) s.
+}
+
+TEST(StatsCollectorTest, PercentilesFromWindow) {
+  StatsCollector stats(0, SecondsToTime(1000));
+  for (int i = 1; i <= 100; ++i) {
+    Transaction t = MakeTxn(i, 0);
+    stats.RecordCompletion(t, SecondsToTime(i));
+  }
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  EXPECT_NEAR(r.median_response_s, 50.5, 0.1);
+  EXPECT_NEAR(r.p95_response_s, 95.0, 0.5);
+}
+
+TEST(StatsCollectorTest, EmptyWindowYieldsZeros) {
+  StatsCollector stats(0, SecondsToTime(10));
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  EXPECT_EQ(r.completions_measured, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_response_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.throughput_tps, 0.0);
+  EXPECT_DOUBLE_EQ(r.sim_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace wtpgsched
+
+namespace wtpgsched {
+namespace {
+
+Transaction MakeClassTxn(TxnId id, int workload_class, SimTime arrival) {
+  Transaction t(id, {{0, LockMode::kShared, LockMode::kShared, 1.0, 1.0}});
+  t.workload_class = workload_class;
+  t.arrival_time = arrival;
+  return t;
+}
+
+TEST(StatsCollectorTest, PerClassBreakdown) {
+  StatsCollector stats(0, SecondsToTime(100));
+  // Class 0: responses 1 s and 3 s; class 1: response 10 s.
+  Transaction a = MakeClassTxn(1, 0, 0);
+  Transaction b = MakeClassTxn(2, 0, 0);
+  Transaction c = MakeClassTxn(3, 1, 0);
+  stats.RecordCompletion(a, SecondsToTime(1));
+  stats.RecordCompletion(b, SecondsToTime(3));
+  stats.RecordCompletion(c, SecondsToTime(10));
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  ASSERT_EQ(r.per_class.size(), 2u);
+  EXPECT_EQ(r.per_class[0].workload_class, 0);
+  EXPECT_EQ(r.per_class[0].completions, 2u);
+  EXPECT_DOUBLE_EQ(r.per_class[0].mean_response_s, 2.0);
+  EXPECT_EQ(r.per_class[1].workload_class, 1);
+  EXPECT_DOUBLE_EQ(r.per_class[1].mean_response_s, 10.0);
+}
+
+TEST(StatsCollectorTest, SinglePatternHasOneClass) {
+  StatsCollector stats(0, SecondsToTime(100));
+  Transaction a = MakeClassTxn(1, 0, 0);
+  stats.RecordCompletion(a, SecondsToTime(5));
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  ASSERT_EQ(r.per_class.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.per_class[0].mean_response_s, 5.0);
+}
+
+TEST(StatsCollectorTest, PerClassRespectsWarmup) {
+  StatsCollector stats(SecondsToTime(50), SecondsToTime(100));
+  Transaction early = MakeClassTxn(1, 0, 0);
+  Transaction late = MakeClassTxn(2, 1, 0);
+  stats.RecordCompletion(early, SecondsToTime(10));
+  stats.RecordCompletion(late, SecondsToTime(60));
+  const RunStats r = stats.Finalize(0, 0, 0, 0);
+  ASSERT_EQ(r.per_class.size(), 1u);
+  EXPECT_EQ(r.per_class[0].workload_class, 1);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,91 @@
+#include "metrics/timeline.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(TimelineRecorderTest, EmptyByDefault) {
+  TimelineRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_EQ(recorder.PeakInFlight(), 0u);
+}
+
+TEST(TimelineRecorderTest, RecordsAndPeaks) {
+  TimelineRecorder recorder;
+  recorder.Record({SecondsToTime(1), 3, 2, 1, 0.0, 5.5, 0});
+  recorder.Record({SecondsToTime(2), 7, 4, 3, 1.0, 2.0, 2});
+  recorder.Record({SecondsToTime(3), 5, 5, 0, 0.0, 0.0, 4});
+  EXPECT_EQ(recorder.samples().size(), 3u);
+  EXPECT_EQ(recorder.PeakInFlight(), 7u);
+}
+
+TEST(TimelineRecorderTest, CsvRoundTrip) {
+  TimelineRecorder recorder;
+  recorder.Record({SecondsToTime(1), 3, 2, 1, 0.5, 5.5, 9});
+  const std::string path = testing::TempDir() + "/timeline_test.csv";
+  ASSERT_TRUE(recorder.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header,
+            "time_s,in_flight,active,parked,cn_queue,dpn_backlog_objects,"
+            "completions");
+  EXPECT_EQ(row, "1.0,3,2,1,0.5,5.50,9");
+  std::remove(path.c_str());
+}
+
+TEST(MachineTimelineTest, DisabledByDefault) {
+  SimConfig c;
+  c.scheduler = SchedulerKind::kNodc;
+  c.arrival_rate_tps = 0.5;
+  c.horizon_ms = 100'000;
+  c.max_arrivals = 5;
+  Machine m(c, Pattern::Experiment1(16));
+  m.Run();
+  EXPECT_TRUE(m.timeline().empty());
+}
+
+TEST(MachineTimelineTest, SamplesAtConfiguredPeriod) {
+  SimConfig c;
+  c.scheduler = SchedulerKind::kNodc;
+  c.arrival_rate_tps = 0.5;
+  c.horizon_ms = 100'000;
+  c.timeline_sample_ms = 10'000;
+  c.seed = 4;
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_EQ(m.timeline().samples().size(), 10u);
+  EXPECT_EQ(m.timeline().samples().front().time, MsToTime(10'000));
+  EXPECT_EQ(m.timeline().samples().back().time, MsToTime(100'000));
+  // The cumulative completion counter in the last sample matches the run.
+  EXPECT_EQ(m.timeline().samples().back().completions, stats.completions);
+  EXPECT_GT(m.timeline().PeakInFlight(), 0u);
+}
+
+TEST(MachineTimelineTest, ParkedReflectsContention) {
+  SimConfig c;
+  c.scheduler = SchedulerKind::kAsl;
+  c.arrival_rate_tps = 1.2;  // Saturating: admission queue builds up.
+  c.horizon_ms = 500'000;
+  c.timeline_sample_ms = 50'000;
+  c.seed = 6;
+  Machine m(c, Pattern::Experiment1(16));
+  m.Run();
+  uint64_t max_parked = 0;
+  for (const auto& s : m.timeline().samples()) {
+    max_parked = std::max(max_parked, s.parked);
+  }
+  EXPECT_GT(max_parked, 0u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,39 @@
+#include "model/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+constexpr LockMode kS = LockMode::kShared;
+constexpr LockMode kX = LockMode::kExclusive;
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  EXPECT_TRUE(Compatible(kS, kS));
+  EXPECT_FALSE(Compatible(kS, kX));
+  EXPECT_FALSE(Compatible(kX, kS));
+  EXPECT_FALSE(Compatible(kX, kX));
+}
+
+TEST(LockModeTest, ConflictsIsNegationOfCompatible) {
+  for (LockMode a : {kS, kX}) {
+    for (LockMode b : {kS, kX}) {
+      EXPECT_EQ(Conflicts(a, b), !Compatible(a, b));
+    }
+  }
+}
+
+TEST(LockModeTest, StrongerPicksExclusive) {
+  EXPECT_EQ(Stronger(kS, kS), kS);
+  EXPECT_EQ(Stronger(kS, kX), kX);
+  EXPECT_EQ(Stronger(kX, kS), kX);
+  EXPECT_EQ(Stronger(kX, kX), kX);
+}
+
+TEST(LockModeTest, Names) {
+  EXPECT_STREQ(LockModeName(kS), "S");
+  EXPECT_STREQ(LockModeName(kX), "X");
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,61 @@
+#include "sched/scheduler_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "machine/config.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(SchedulerFactoryTest, CreatesEveryKindWithMatchingName) {
+  const struct {
+    SchedulerKind kind;
+    const char* name;
+  } cases[] = {
+      {SchedulerKind::kNodc, "NODC"},     {SchedulerKind::kAsl, "ASL"},
+      {SchedulerKind::kC2pl, "C2PL"},     {SchedulerKind::kOpt, "OPT"},
+      {SchedulerKind::kGow, "GOW"},       {SchedulerKind::kLow, "LOW(K=2)"},
+      {SchedulerKind::kLowLb, "LOW-LB(K=2)"},
+      {SchedulerKind::kTwoPl, "2PL"},
+  };
+  for (const auto& c : cases) {
+    SimConfig config;
+    config.scheduler = c.kind;
+    auto scheduler = CreateScheduler(config);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), c.name);
+    EXPECT_EQ(scheduler->num_active(), 0u);
+  }
+}
+
+TEST(SchedulerFactoryTest, C2plMplShowsInName) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kC2pl;
+  config.mpl = 4;
+  EXPECT_EQ(CreateScheduler(config)->name(), "C2PL+M4");
+}
+
+TEST(SchedulerFactoryTest, LowKRespected) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kLow;
+  config.low_k = 5;
+  EXPECT_EQ(CreateScheduler(config)->name(), "LOW(K=5)");
+}
+
+TEST(SchedulerFactoryTest, OnlyOptAndTwoPlRestartCapable) {
+  // DefersWrites marks OPT's private-workspace model.
+  for (SchedulerKind kind :
+       {SchedulerKind::kNodc, SchedulerKind::kAsl, SchedulerKind::kC2pl,
+        SchedulerKind::kGow, SchedulerKind::kLow, SchedulerKind::kTwoPl}) {
+    SimConfig config;
+    config.scheduler = kind;
+    EXPECT_FALSE(CreateScheduler(config)->DefersWrites())
+        << SchedulerKindName(kind);
+  }
+  SimConfig config;
+  config.scheduler = SchedulerKind::kOpt;
+  EXPECT_TRUE(CreateScheduler(config)->DefersWrites());
+}
+
+}  // namespace
+}  // namespace wtpgsched

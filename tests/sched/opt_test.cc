@@ -1,0 +1,142 @@
+#include "sched/opt.h"
+
+#include <gtest/gtest.h>
+
+#include "test_txns.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(OptTest, NeverBlocksAndTakesNoLocks) {
+  OptScheduler sched;
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  sched.OnClock(0);
+  EXPECT_EQ(sched.OnStartup(t1).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnStartup(t2).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnLockRequest(t2, 0).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.lock_table().num_locked_files(), 0u);
+}
+
+TEST(OptTest, ValidationPassesWithoutConcurrentWrites) {
+  OptScheduler sched;
+  Transaction t1 = MakeXTxn(1, {0});
+  sched.OnClock(0);
+  sched.OnStartup(t1);
+  sched.OnClock(100);
+  EXPECT_TRUE(sched.ValidateAtCommit(t1));
+  sched.OnCommit(t1);
+  EXPECT_EQ(sched.validation_failures(), 0u);
+}
+
+TEST(OptTest, WriteWriteConflictAborts) {
+  OptScheduler sched;
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  sched.OnClock(0);
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  sched.OnClock(50);
+  ASSERT_TRUE(sched.ValidateAtCommit(t1));
+  sched.OnCommit(t1);  // Installs write of file 0 at t=50.
+  sched.OnClock(60);
+  EXPECT_FALSE(sched.ValidateAtCommit(t2));
+  EXPECT_EQ(sched.validation_failures(), 1u);
+}
+
+TEST(OptTest, ReadOfOverwrittenFileAborts) {
+  OptScheduler sched;
+  Transaction writer = MakeXTxn(1, {0});
+  Transaction reader = MakeSTxn(2, {0});
+  sched.OnClock(0);
+  sched.OnStartup(writer);
+  sched.OnStartup(reader);
+  sched.OnClock(50);
+  sched.ValidateAtCommit(writer);
+  sched.OnCommit(writer);
+  sched.OnClock(60);
+  EXPECT_FALSE(sched.ValidateAtCommit(reader));
+}
+
+TEST(OptTest, CommitBeforeStartDoesNotConflict) {
+  OptScheduler sched;
+  Transaction t1 = MakeXTxn(1, {0});
+  sched.OnClock(0);
+  sched.OnStartup(t1);
+  sched.OnClock(50);
+  sched.ValidateAtCommit(t1);
+  sched.OnCommit(t1);
+  // t2 starts after t1's write installed: no conflict.
+  Transaction t2 = MakeXTxn(2, {0});
+  sched.OnClock(60);
+  sched.OnStartup(t2);
+  sched.OnClock(100);
+  EXPECT_TRUE(sched.ValidateAtCommit(t2));
+}
+
+TEST(OptTest, RestartResetsIncarnationWindow) {
+  OptScheduler sched;
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  sched.OnClock(0);
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  sched.OnClock(50);
+  sched.ValidateAtCommit(t1);
+  sched.OnCommit(t1);
+  sched.OnClock(60);
+  ASSERT_FALSE(sched.ValidateAtCommit(t2));
+  sched.OnAbort(t2);
+  t2.ResetForRestart();
+  // Restarted incarnation begins after t1's commit: validation now passes.
+  sched.OnClock(70);
+  sched.OnStartup(t2);
+  sched.OnClock(120);
+  EXPECT_TRUE(sched.ValidateAtCommit(t2));
+}
+
+TEST(OptTest, ReadOnlyValidationIgnoresWriteWrite) {
+  OptScheduler sched(/*validate_writes=*/false);
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});  // Blind write, no read of file 0.
+  sched.OnClock(0);
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  sched.OnClock(50);
+  sched.ValidateAtCommit(t1);
+  sched.OnCommit(t1);
+  sched.OnClock(60);
+  EXPECT_TRUE(sched.ValidateAtCommit(t2));  // Pure Kung-Robinson.
+}
+
+TEST(OptTest, ReadOnlyValidationStillChecksReads) {
+  OptScheduler sched(/*validate_writes=*/false);
+  Transaction writer = MakeXTxn(1, {0});
+  Transaction reader = MakeSTxn(2, {0});
+  sched.OnClock(0);
+  sched.OnStartup(writer);
+  sched.OnStartup(reader);
+  sched.OnClock(50);
+  sched.ValidateAtCommit(writer);
+  sched.OnCommit(writer);
+  sched.OnClock(60);
+  EXPECT_FALSE(sched.ValidateAtCommit(reader));
+}
+
+TEST(OptTest, CommittedReaderInstallsNoWrites) {
+  OptScheduler sched;
+  Transaction reader = MakeSTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  sched.OnClock(0);
+  sched.OnStartup(reader);
+  sched.OnStartup(t2);
+  sched.OnClock(50);
+  sched.ValidateAtCommit(reader);
+  sched.OnCommit(reader);
+  sched.OnClock(60);
+  EXPECT_TRUE(sched.ValidateAtCommit(t2));  // Reads install nothing.
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,106 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/c2pl.h"
+#include "test_txns.h"
+
+namespace wtpgsched {
+namespace {
+
+// The WtpgSchedulerBase plumbing is exercised through C2PL (its simplest
+// concrete subclass).
+
+TEST(WtpgSchedulerBaseTest, AdmitBuildsGraphNodeAndEdges) {
+  C2plScheduler sched(/*ddtime=*/0);
+  Transaction t1 = MakeXTxn(1, {0, 1});
+  Transaction t2 = MakeXTxn(2, {1, 2});
+  Transaction t3 = MakeXTxn(3, {4, 5});
+  EXPECT_EQ(sched.OnStartup(t1).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnStartup(t2).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnStartup(t3).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.graph().num_nodes(), 3u);
+  EXPECT_EQ(sched.graph().num_edges(), 1u);  // Only t1-t2 conflict (file 1).
+  EXPECT_NE(sched.graph().FindEdge(1, 2), nullptr);
+  EXPECT_EQ(sched.num_active(), 3u);
+}
+
+TEST(WtpgSchedulerBaseTest, GraphWeightsFromDeclarations) {
+  C2plScheduler sched(0);
+  Transaction t1 = MakeXTxnCosts(1, {{0, 1.0}, {1, 3.0}});
+  Transaction t2 = MakeXTxnCosts(2, {{2, 1.0}, {1, 2.0}, {3, 4.0}});
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  const Wtpg::Edge* e = sched.graph().FindEdge(1, 2);
+  ASSERT_NE(e, nullptr);
+  // w(1->2): t2's declared cost from its first step conflicting with t1
+  // (file 1 at step 1): 2 + 4 = 6. w(2->1): t1 from step 1: 3.
+  EXPECT_DOUBLE_EQ(e->a == 1 ? e->weight_ab : e->weight_ba, 6.0);
+  EXPECT_DOUBLE_EQ(e->a == 1 ? e->weight_ba : e->weight_ab, 3.0);
+  // T0 weights are total declared costs.
+  EXPECT_DOUBLE_EQ(sched.graph().remaining(1), 4.0);
+  EXPECT_DOUBLE_EQ(sched.graph().remaining(2), 7.0);
+}
+
+TEST(WtpgSchedulerBaseTest, StepCompletionUpdatesT0Weight) {
+  C2plScheduler sched(0);
+  Transaction t1 = MakeXTxnCosts(1, {{0, 1.0}, {1, 3.0}});
+  sched.OnStartup(t1);
+  sched.OnLockRequest(t1, 0);
+  t1.AdvanceStep();
+  sched.OnStepCompleted(t1, 0);
+  EXPECT_DOUBLE_EQ(sched.graph().remaining(1), 3.0);
+}
+
+TEST(WtpgSchedulerBaseTest, HolderPreOrientedAgainstNewcomer) {
+  C2plScheduler sched(0);
+  Transaction t1 = MakeXTxn(1, {0});
+  sched.OnStartup(t1);
+  EXPECT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  // t2 arrives wanting file 0: t1 already holds it, so t1 -> t2 is forced.
+  Transaction t2 = MakeXTxn(2, {0, 1});
+  sched.OnStartup(t2);
+  EXPECT_TRUE(sched.graph().IsOriented(1, 2));
+}
+
+TEST(WtpgSchedulerBaseTest, CommitReleasesLocksAndGraphNode) {
+  C2plScheduler sched(0);
+  Transaction t1 = MakeXTxn(1, {0, 1});
+  sched.OnStartup(t1);
+  sched.OnLockRequest(t1, 0);
+  sched.OnLockRequest(t1, 1);
+  std::vector<FileId> released = sched.OnCommit(t1);
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_EQ(sched.graph().num_nodes(), 0u);
+  EXPECT_EQ(sched.num_active(), 0u);
+  EXPECT_EQ(sched.lock_table().NumHeldBy(1), 0u);
+}
+
+TEST(WtpgSchedulerBaseTest, GrantRecordsLock) {
+  C2plScheduler sched(0);
+  Transaction t1 = MakeXTxn(1, {7});
+  sched.OnStartup(t1);
+  EXPECT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  EXPECT_TRUE(sched.lock_table().HoldsSufficient(7, 1, LockMode::kExclusive));
+}
+
+TEST(WtpgSchedulerBaseTest, GrantOrientsAgainstPendingConflicters) {
+  C2plScheduler sched(0);
+  Transaction t1 = MakeXTxn(1, {0, 1});
+  Transaction t2 = MakeXTxn(2, {1, 2});
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  EXPECT_FALSE(sched.graph().FindEdge(1, 2)->oriented);
+  sched.OnLockRequest(t1, 1);  // t1 takes file 1 first.
+  EXPECT_TRUE(sched.graph().IsOriented(1, 2));
+}
+
+TEST(WtpgSchedulerBaseTest, DefaultCostsAreZero) {
+  C2plScheduler sched(/*ddtime=*/MsToTime(1.0));
+  Transaction t1 = MakeXTxn(1, {0});
+  EXPECT_EQ(sched.StartupDecisionCost(t1), 0);
+  EXPECT_EQ(sched.LockDecisionCost(t1, 0), MsToTime(1.0));
+}
+
+}  // namespace
+}  // namespace wtpgsched

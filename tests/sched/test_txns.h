@@ -1,0 +1,47 @@
+#ifndef WTPG_SCHED_TESTS_SCHED_TEST_TXNS_H_
+#define WTPG_SCHED_TESTS_SCHED_TEST_TXNS_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/transaction.h"
+
+namespace wtpgsched {
+
+// Builders for the transaction shapes the scheduler tests use.
+
+// X-lock transaction touching the given files in order, 1 object per step.
+inline Transaction MakeXTxn(TxnId id, std::vector<FileId> files,
+                            double cost_per_step = 1.0) {
+  std::vector<StepSpec> steps;
+  for (FileId f : files) {
+    steps.push_back({f, LockMode::kExclusive, LockMode::kExclusive,
+                     cost_per_step, cost_per_step});
+  }
+  return Transaction(id, std::move(steps));
+}
+
+// Read-only (S-lock) transaction.
+inline Transaction MakeSTxn(TxnId id, std::vector<FileId> files,
+                            double cost_per_step = 1.0) {
+  std::vector<StepSpec> steps;
+  for (FileId f : files) {
+    steps.push_back({f, LockMode::kShared, LockMode::kShared, cost_per_step,
+                     cost_per_step});
+  }
+  return Transaction(id, std::move(steps));
+}
+
+// Transaction with explicit per-step declared costs (X locks).
+inline Transaction MakeXTxnCosts(TxnId id,
+                                 std::vector<std::pair<FileId, double>> plan) {
+  std::vector<StepSpec> steps;
+  for (const auto& [f, c] : plan) {
+    steps.push_back({f, LockMode::kExclusive, LockMode::kExclusive, c, c});
+  }
+  return Transaction(id, std::move(steps));
+}
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TESTS_SCHED_TEST_TXNS_H_

@@ -1,0 +1,124 @@
+#include "sched/two_pl.h"
+
+#include <gtest/gtest.h>
+
+#include "test_txns.h"
+
+namespace wtpgsched {
+namespace {
+
+TwoPlScheduler Make() { return TwoPlScheduler(MsToTime(1.0)); }
+
+TEST(TwoPlTest, AdmitsEverything) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  EXPECT_EQ(sched.OnStartup(t1).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnStartup(t2).kind, DecisionKind::kGrant);
+}
+
+TEST(TwoPlTest, GrantsFreeLock) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0});
+  sched.OnStartup(t1);
+  EXPECT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  EXPECT_TRUE(sched.lock_table().Holds(0, 1));
+}
+
+TEST(TwoPlTest, BlocksOnConflict) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  sched.OnLockRequest(t1, 0);
+  EXPECT_EQ(sched.OnLockRequest(t2, 0).kind, DecisionKind::kBlock);
+  EXPECT_EQ(sched.deadlock_aborts(), 0u);
+}
+
+TEST(TwoPlTest, DetectsTwoPartyDeadlock) {
+  // T1 holds A and blocks on B; T2 holds B and requests A: cycle — abort.
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0, 1});
+  Transaction t2 = MakeXTxn(2, {1, 0});
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  ASSERT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);  // A.
+  ASSERT_EQ(sched.OnLockRequest(t2, 0).kind, DecisionKind::kGrant);  // B.
+  t1.AdvanceStep();
+  t2.AdvanceStep();
+  ASSERT_EQ(sched.OnLockRequest(t1, 1).kind, DecisionKind::kBlock);  // B.
+  EXPECT_EQ(sched.OnLockRequest(t2, 1).kind, DecisionKind::kAbortRestart);
+  EXPECT_EQ(sched.deadlock_aborts(), 1u);
+}
+
+TEST(TwoPlTest, DetectsThreePartyDeadlock) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0, 1});
+  Transaction t2 = MakeXTxn(2, {1, 2});
+  Transaction t3 = MakeXTxn(3, {2, 0});
+  for (Transaction* t : {&t1, &t2, &t3}) sched.OnStartup(*t);
+  ASSERT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  ASSERT_EQ(sched.OnLockRequest(t2, 0).kind, DecisionKind::kGrant);
+  ASSERT_EQ(sched.OnLockRequest(t3, 0).kind, DecisionKind::kGrant);
+  t1.AdvanceStep();
+  t2.AdvanceStep();
+  t3.AdvanceStep();
+  ASSERT_EQ(sched.OnLockRequest(t1, 1).kind, DecisionKind::kBlock);
+  ASSERT_EQ(sched.OnLockRequest(t2, 1).kind, DecisionKind::kBlock);
+  EXPECT_EQ(sched.OnLockRequest(t3, 1).kind, DecisionKind::kAbortRestart);
+}
+
+TEST(TwoPlTest, AbortReleasesLocks) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0, 1});
+  Transaction t2 = MakeXTxn(2, {1, 0});
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  sched.OnLockRequest(t1, 0);
+  sched.OnLockRequest(t2, 0);
+  t1.AdvanceStep();
+  t2.AdvanceStep();
+  sched.OnLockRequest(t1, 1);
+  ASSERT_EQ(sched.OnLockRequest(t2, 1).kind, DecisionKind::kAbortRestart);
+  const std::vector<FileId> released = sched.OnAbort(t2);
+  EXPECT_EQ(released, (std::vector<FileId>{1}));
+  // T1's blocked request for B is now grantable.
+  EXPECT_EQ(sched.OnLockRequest(t1, 1).kind, DecisionKind::kGrant);
+}
+
+TEST(TwoPlTest, NoFalseDeadlockOnSimpleChain) {
+  // T1 holds A; T2 blocks on A; T3 blocks on A — a chain, not a cycle.
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0});
+  Transaction t2 = MakeXTxn(2, {0});
+  Transaction t3 = MakeXTxn(3, {0});
+  for (Transaction* t : {&t1, &t2, &t3}) sched.OnStartup(*t);
+  ASSERT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnLockRequest(t2, 0).kind, DecisionKind::kBlock);
+  EXPECT_EQ(sched.OnLockRequest(t3, 0).kind, DecisionKind::kBlock);
+  EXPECT_EQ(sched.deadlock_aborts(), 0u);
+}
+
+TEST(TwoPlTest, SharedLocksDoNotDeadlock) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeSTxn(1, {0, 1});
+  Transaction t2 = MakeSTxn(2, {1, 0});
+  sched.OnStartup(t1);
+  sched.OnStartup(t2);
+  EXPECT_EQ(sched.OnLockRequest(t1, 0).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnLockRequest(t2, 0).kind, DecisionKind::kGrant);
+  t1.AdvanceStep();
+  t2.AdvanceStep();
+  EXPECT_EQ(sched.OnLockRequest(t1, 1).kind, DecisionKind::kGrant);
+  EXPECT_EQ(sched.OnLockRequest(t2, 1).kind, DecisionKind::kGrant);
+}
+
+TEST(TwoPlTest, CostIsDdtime) {
+  TwoPlScheduler sched = Make();
+  Transaction t1 = MakeXTxn(1, {0});
+  EXPECT_EQ(sched.LockDecisionCost(t1, 0), MsToTime(1.0));
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,82 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&] { fired.push_back(3); });
+  q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.Pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.Schedule(50, [] {});
+  q.Schedule(20, [] {});
+  EXPECT_EQ(q.NextTime(), 20);
+}
+
+TEST(EventQueueTest, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  const EventQueue::EventId id = q.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const EventQueue::EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelledEntrySkippedOnPop) {
+  EventQueue q;
+  const EventQueue::EventId id = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Cancel(id);
+  const EventQueue::Event e = q.Pop();
+  EXPECT_EQ(e.time, 20);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventQueue::EventId a = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

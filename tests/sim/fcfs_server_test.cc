@@ -1,0 +1,94 @@
+#include "sim/fcfs_server.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(FcfsServerTest, ServesSingleJob) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  SimTime done_at = -1;
+  server.Submit(100, [&] { done_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done_at, 100);
+  EXPECT_EQ(server.jobs_completed(), 1u);
+}
+
+TEST(FcfsServerTest, JobsQueueFifo) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  std::vector<SimTime> done;
+  server.Submit(100, [&] { done.push_back(sim.Now()); });
+  server.Submit(50, [&] { done.push_back(sim.Now()); });
+  server.Submit(10, [&] { done.push_back(sim.Now()); });
+  sim.RunToCompletion();
+  // Serial service in arrival order: 100, then +50, then +10.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 150, 160}));
+}
+
+TEST(FcfsServerTest, ZeroServiceTimeJob) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  SimTime done_at = -1;
+  server.Submit(0, [&] { done_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done_at, 0);
+}
+
+TEST(FcfsServerTest, LateArrivalWaitsOnlyForCurrent) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  std::vector<SimTime> done;
+  server.Submit(100, [&] { done.push_back(sim.Now()); });
+  sim.ScheduleAfter(150, [&] {
+    server.Submit(10, [&] { done.push_back(sim.Now()); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 160}));
+}
+
+TEST(FcfsServerTest, SubmissionFromCallbackQueuesBehindWaiting) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  std::vector<int> order;
+  server.Submit(10, [&] {
+    order.push_back(1);
+    server.Submit(10, [&] { order.push_back(3); });
+  });
+  server.Submit(10, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FcfsServerTest, BusyTimeAndUtilization) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  server.Submit(30, nullptr);
+  server.Submit(20, nullptr);
+  sim.ScheduleAfter(100, [] {});  // Keep the clock running to 100.
+  sim.RunToCompletion();
+  EXPECT_EQ(server.busy_time(), 50);
+  EXPECT_DOUBLE_EQ(server.Utilization(), 0.5);
+}
+
+TEST(FcfsServerTest, QueueLength) {
+  Simulator sim;
+  FcfsServer server(&sim, "cpu");
+  server.Submit(100, nullptr);
+  server.Submit(100, nullptr);
+  server.Submit(100, nullptr);
+  // One in service, two waiting.
+  EXPECT_TRUE(server.busy());
+  EXPECT_EQ(server.queue_length(), 2u);
+  sim.RunToCompletion();
+  EXPECT_FALSE(server.busy());
+  EXPECT_EQ(server.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,106 @@
+// Validation of the simulation kernel against closed-form queueing theory:
+// the servers must reproduce M/M/1 (FCFS) and M/M/1-PS (round-robin with a
+// small quantum) mean sojourn times. This pins both the event engine and
+// the RNG distributions.
+
+#include <gtest/gtest.h>
+
+#include "sim/fcfs_server.h"
+#include "sim/round_robin_server.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace wtpgsched {
+namespace {
+
+// Drives `jobs` Poisson arrivals (rate lambda per second) of exponential
+// service (mean 1/mu seconds) into a server; returns the mean sojourn in
+// seconds. `submit` receives (service_time, completion_callback).
+template <typename Submit>
+double MeanSojourn(Simulator* sim, Rng* rng, double lambda, double mu,
+                   int jobs, Submit submit) {
+  double total_sojourn_s = 0.0;
+  int completed = 0;
+  SimTime arrival_clock = 0;
+  for (int i = 0; i < jobs; ++i) {
+    arrival_clock += SecondsToTime(rng->Exponential(1.0 / lambda));
+    const SimTime service = SecondsToTime(rng->Exponential(1.0 / mu));
+    sim->ScheduleAt(arrival_clock, [sim, service, submit, &total_sojourn_s,
+                                    &completed] {
+      const SimTime arrived = sim->Now();
+      submit(service, [sim, arrived, &total_sojourn_s, &completed] {
+        total_sojourn_s += TimeToSeconds(sim->Now() - arrived);
+        ++completed;
+      });
+    });
+  }
+  sim->RunToCompletion();
+  EXPECT_EQ(completed, jobs);
+  return total_sojourn_s / jobs;
+}
+
+struct MmCase {
+  double lambda;
+  double mu;
+  uint64_t seed;
+};
+
+class Mm1Test : public testing::TestWithParam<MmCase> {};
+
+TEST_P(Mm1Test, FcfsMatchesTheory) {
+  const MmCase param = GetParam();
+  Simulator sim;
+  Rng rng(param.seed);
+  FcfsServer server(&sim, "mm1");
+  const double mean = MeanSojourn(
+      &sim, &rng, param.lambda, param.mu, 60000,
+      [&](SimTime service, std::function<void()> done) {
+        server.Submit(service, std::move(done));
+      });
+  const double expected = 1.0 / (param.mu - param.lambda);
+  EXPECT_NEAR(mean, expected, 0.12 * expected)
+      << "lambda=" << param.lambda << " mu=" << param.mu;
+}
+
+TEST_P(Mm1Test, RoundRobinSmallQuantumMatchesProcessorSharing) {
+  // M/M/1-PS has the same mean sojourn 1/(mu - lambda); round-robin with a
+  // quantum far below the mean service time approximates PS.
+  const MmCase param = GetParam();
+  Simulator sim;
+  Rng rng(param.seed + 1);
+  RoundRobinServer server(&sim, "ps");
+  const SimTime quantum = SecondsToTime(0.01 / param.mu);
+  const double mean = MeanSojourn(
+      &sim, &rng, param.lambda, param.mu, 30000,
+      [&](SimTime service, std::function<void()> done) {
+        server.Submit(service, quantum, std::move(done));
+      });
+  const double expected = 1.0 / (param.mu - param.lambda);
+  EXPECT_NEAR(mean, expected, 0.12 * expected)
+      << "lambda=" << param.lambda << " mu=" << param.mu;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, Mm1Test,
+    testing::Values(MmCase{0.3, 1.0, 11}, MmCase{0.5, 1.0, 12},
+                    MmCase{0.7, 1.0, 13}, MmCase{1.6, 2.0, 14}),
+    [](const testing::TestParamInfo<MmCase>& info) {
+      return "rho" + std::to_string(static_cast<int>(
+                         100 * info.param.lambda / info.param.mu)) +
+             "_seed" + std::to_string(info.param.seed);
+    });
+
+// Utilization must match rho for a stable queue.
+TEST(Mm1Test, UtilizationMatchesRho) {
+  Simulator sim;
+  Rng rng(21);
+  FcfsServer server(&sim, "mm1");
+  MeanSojourn(&sim, &rng, 0.6, 1.0, 60000,
+              [&](SimTime service, std::function<void()> done) {
+                server.Submit(service, std::move(done));
+              });
+  EXPECT_NEAR(server.Utilization(), 0.6, 0.02);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(MsToTime(1.0), 1000);
+  EXPECT_EQ(MsToTime(0.5), 500);
+  EXPECT_EQ(SecondsToTime(2.0), 2'000'000);
+  EXPECT_DOUBLE_EQ(TimeToMs(1500), 1.5);
+  EXPECT_DOUBLE_EQ(TimeToSeconds(2'500'000), 2.5);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.ScheduleAfter(100, [&] { seen.push_back(sim.Now()); });
+  sim.ScheduleAfter(50, [&] { seen.push_back(sim.Now()); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(10, [&] { ++fired; });
+  sim.ScheduleAfter(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);  // Clock lands on the horizon.
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventExactlyAtHorizonRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAfter(50, [&] { fired = true; });
+  sim.RunUntil(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRun) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.ScheduleAfter(10, [&] {
+    seen.push_back(sim.Now());
+    sim.ScheduleAfter(5, [&] { seen.push_back(sim.Now()); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAfter(10, [&] {
+    sim.ScheduleAfter(-5, [&] { fired = true; });
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.ScheduleAfter(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, StepReturnsFalsePastHorizon) {
+  Simulator sim;
+  sim.ScheduleAfter(100, [] {});
+  EXPECT_FALSE(sim.Step(50));
+  EXPECT_EQ(sim.Now(), 0);  // Untouched.
+  EXPECT_TRUE(sim.Step(100));
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.ScheduleAfter(i, [] {});
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

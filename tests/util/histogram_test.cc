@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Median(), 0.0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Mean(), 5.0);
+  EXPECT_EQ(h.Median(), 5.0);
+  EXPECT_EQ(h.Percentile(0), 5.0);
+  EXPECT_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, MeanAndBounds) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(HistogramTest, MedianInterpolates) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Median(), 2.5);
+}
+
+TEST(HistogramTest, PercentileExtremes) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(95), 95.05, 0.1);
+}
+
+TEST(HistogramTest, UnsortedInsertionOrder) {
+  Histogram h;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) h.Add(v);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 5.0);
+}
+
+TEST(HistogramTest, StdDev) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
+  EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, AddAfterPercentileQuery) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_EQ(h.Median(), 1.0);
+  h.Add(3.0);  // Invalidates sorted state; must re-sort lazily.
+  EXPECT_DOUBLE_EQ(h.Median(), 2.0);
+}
+
+}  // namespace
+}  // namespace wtpgsched

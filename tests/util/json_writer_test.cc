@@ -1,0 +1,68 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/stats.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  EXPECT_EQ(JsonWriter().ToString(), "{}");
+}
+
+TEST(JsonWriterTest, MixedTypesInOrder) {
+  JsonWriter json;
+  json.Add("s", "text").Add("i", int64_t{-3}).Add("d", 1.5).Add("b", true);
+  EXPECT_EQ(json.ToString(), "{\"s\":\"text\",\"i\":-3,\"d\":1.5,\"b\":true}");
+}
+
+TEST(JsonWriterTest, EscapesSpecials) {
+  JsonWriter json;
+  json.Add("k", "a\"b\\c\nd");
+  EXPECT_EQ(json.ToString(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("\t"), "\\t");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.Add("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(json.ToString(), "{\"inf\":null}");
+}
+
+TEST(JsonWriterTest, RawFragments) {
+  JsonWriter inner;
+  inner.Add("x", 1);
+  JsonWriter outer;
+  outer.AddRaw("nested", inner.ToString());
+  EXPECT_EQ(outer.ToString(), "{\"nested\":{\"x\":1}}");
+}
+
+TEST(JsonWriterTest, UnsignedValues) {
+  JsonWriter json;
+  json.Add("u", uint64_t{18446744073709551615ULL});
+  EXPECT_EQ(json.ToString(), "{\"u\":18446744073709551615}");
+}
+
+TEST(RunStatsJsonTest, ContainsAllFields) {
+  RunStats stats;
+  stats.arrivals = 10;
+  stats.completions = 9;
+  stats.mean_response_s = 7.25;
+  stats.throughput_tps = 0.5;
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"arrivals\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"completions\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_response_s\":7.25"), std::string::npos);
+  EXPECT_NE(json.find("\"throughput_tps\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"in_flight_at_end\":0"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,45 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("T", 42, " x=", 1.5), "T42 x=1.5");
+}
+
+TEST(StrCatTest, Empty) { EXPECT_EQ(StrCat(), ""); }
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FormatTest, PrintfStyle) {
+  EXPECT_EQ(Format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(FormatTest, EmptyResult) { EXPECT_EQ(Format("%s", ""), ""); }
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(PadTest, PadLeft) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(PadTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace wtpgsched

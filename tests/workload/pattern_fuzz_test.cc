@@ -1,0 +1,80 @@
+// Fuzz-ish robustness test: the pattern parser must never crash and must
+// either return a valid pattern or a clean InvalidArgument, for random
+// mutations of valid pattern strings and random byte soup.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "workload/pattern_parser.h"
+
+namespace wtpgsched {
+namespace {
+
+const char* const kSeedStrings[] = {
+    "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)",
+    "x(A:1) -> w(B:2.5)",
+    "B in [0,7]; F1,F2 in [8,15]: r(B:5) -> w(F1:1) -> w(F2:1)",
+    "w(only:0.5)",
+};
+
+const char kAlphabet[] =
+    "rwx()[]:;,->0123456789.ABF _abcdefgh";
+
+TEST(PatternParserFuzzTest, MutatedInputsNeverCrash) {
+  Rng rng(2024);
+  int valid = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string text =
+        kSeedStrings[rng.UniformInt(0, std::size(kSeedStrings) - 1)];
+    const int mutations = static_cast<int>(rng.UniformInt(0, 6));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, text.size() - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // Replace.
+          text[pos] = kAlphabet[rng.UniformInt(0, std::size(kAlphabet) - 2)];
+          break;
+        case 1:  // Delete.
+          text.erase(pos, 1);
+          break;
+        default:  // Insert.
+          text.insert(pos, 1,
+                      kAlphabet[rng.UniformInt(0, std::size(kAlphabet) - 2)]);
+          break;
+      }
+    }
+    StatusOr<Pattern> result = ParsePattern(text, 16);
+    if (result.ok()) {
+      ++valid;
+      // A pattern the parser accepts must instantiate without dying.
+      Rng inst_rng(trial);
+      const auto steps = result->Instantiate(&inst_rng, 2, ErrorModel{0.5});
+      EXPECT_FALSE(steps.empty());
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // Unmutated seeds parse, so some trials must succeed.
+  EXPECT_GT(valid, 500);
+}
+
+TEST(PatternParserFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < len; ++i) {
+      text += kAlphabet[rng.UniformInt(0, std::size(kAlphabet) - 2)];
+    }
+    StatusOr<Pattern> result = ParsePattern(text, 8);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,115 @@
+#include "workload/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+constexpr LockMode kS = LockMode::kShared;
+constexpr LockMode kX = LockMode::kExclusive;
+
+TEST(PatternParserTest, ParsesPattern1Notation) {
+  auto result =
+      ParsePattern("x(F1:1) -> x(F2:5) -> w(F1:0.2) -> w(F2:1)", 16);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Pattern& p = *result;
+  ASSERT_EQ(p.steps().size(), 4u);
+  EXPECT_EQ(p.vars().size(), 2u);
+  EXPECT_FALSE(p.steps()[0].is_write);
+  EXPECT_EQ(p.steps()[0].request_mode, kX);  // 'x' reads with X lock.
+  EXPECT_DOUBLE_EQ(p.steps()[1].cost, 5.0);
+  EXPECT_TRUE(p.steps()[2].is_write);
+  EXPECT_DOUBLE_EQ(p.steps()[2].cost, 0.2);
+  EXPECT_EQ(p.steps()[0].file_var, p.steps()[2].file_var);  // F1 reused.
+  EXPECT_DOUBLE_EQ(p.TotalCost(), 7.2);
+}
+
+TEST(PatternParserTest, DefaultPoolIsAllFiles) {
+  auto result = ParsePattern("r(A:1)", 32);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vars()[0].pool_lo, 0);
+  EXPECT_EQ(result->vars()[0].pool_hi, 31);
+  EXPECT_EQ(result->steps()[0].request_mode, kS);
+}
+
+TEST(PatternParserTest, PoolPrologue) {
+  auto result = ParsePattern(
+      "B in [0,7]; F1,F2 in [8,15]: r(B:5) -> w(F1:1) -> w(F2:1)", 16);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Pattern& p = *result;
+  ASSERT_EQ(p.vars().size(), 3u);
+  EXPECT_EQ(p.vars()[0].pool_lo, 0);
+  EXPECT_EQ(p.vars()[0].pool_hi, 7);
+  EXPECT_EQ(p.vars()[1].pool_lo, 8);
+  EXPECT_EQ(p.vars()[2].pool_hi, 15);
+  EXPECT_EQ(p.steps()[1].request_mode, kX);
+}
+
+TEST(PatternParserTest, ReadThenWriteAutoUpgradesFirstRequest) {
+  auto result = ParsePattern("r(F:1) -> w(F:1)", 16);
+  ASSERT_TRUE(result.ok());
+  // The first touch must request X so the later write is covered.
+  EXPECT_EQ(result->steps()[0].request_mode, kX);
+  EXPECT_FALSE(result->steps()[0].is_write);
+}
+
+TEST(PatternParserTest, ParsedPatternInstantiates) {
+  auto result = ParsePattern(
+      "B in [0,3]; H in [4,7]: r(B:2) -> w(H:1.5)", 8);
+  ASSERT_TRUE(result.ok());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto steps = result->Instantiate(&rng, 2, ErrorModel{0.0});
+    ASSERT_EQ(steps.size(), 2u);
+    EXPECT_LE(steps[0].file, 3);
+    EXPECT_GE(steps[1].file, 4);
+    EXPECT_DOUBLE_EQ(steps[1].declared_cost, 0.75);  // 1.5 / DD.
+  }
+}
+
+TEST(PatternParserTest, WhitespaceInsensitive) {
+  auto result = ParsePattern("  r( A : 1 )->w( B : 2 )  ", 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->steps().size(), 2u);
+}
+
+TEST(PatternParserTest, RejectsEmpty) {
+  EXPECT_FALSE(ParsePattern("", 16).ok());
+  EXPECT_FALSE(ParsePattern("   ", 16).ok());
+}
+
+TEST(PatternParserTest, RejectsBadOperator) {
+  EXPECT_FALSE(ParsePattern("q(F:1)", 16).ok());
+}
+
+TEST(PatternParserTest, RejectsMissingArrow) {
+  EXPECT_FALSE(ParsePattern("r(A:1) w(B:1)", 16).ok());
+}
+
+TEST(PatternParserTest, RejectsMissingCost) {
+  EXPECT_FALSE(ParsePattern("r(A)", 16).ok());
+  EXPECT_FALSE(ParsePattern("r(A:)", 16).ok());
+}
+
+TEST(PatternParserTest, RejectsUnclosedParen) {
+  EXPECT_FALSE(ParsePattern("r(A:1 -> w(B:1)", 16).ok());
+}
+
+TEST(PatternParserTest, RejectsBadPool) {
+  EXPECT_FALSE(ParsePattern("A in [7,3]: r(A:1)", 16).ok());
+  EXPECT_FALSE(ParsePattern("A in 0,3]: r(A:1)", 16).ok());
+  EXPECT_FALSE(ParsePattern("A in [0,3]; A in [4,7]: r(A:1)", 16).ok());
+}
+
+TEST(PatternParserTest, RejectsNonPositiveNumFiles) {
+  EXPECT_FALSE(ParsePattern("r(A:1)", 0).ok());
+}
+
+TEST(PatternParserTest, ErrorsAreInvalidArgument) {
+  auto result = ParsePattern("r(A:1) ->", 16);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wtpgsched

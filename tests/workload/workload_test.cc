@@ -1,0 +1,121 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(WorkloadTest, SequentialIds) {
+  WorkloadGenerator gen(Pattern::Experiment1(16), 1.0, 1, ErrorModel{}, 1);
+  EXPECT_EQ(gen.NextTransaction()->id(), 1);
+  EXPECT_EQ(gen.NextTransaction()->id(), 2);
+  EXPECT_EQ(gen.transactions_created(), 2);
+}
+
+TEST(WorkloadTest, InterarrivalMeanMatchesRate) {
+  WorkloadGenerator gen(Pattern::Experiment1(16), 2.0, 1, ErrorModel{}, 7);
+  double sum_s = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum_s += TimeToSeconds(gen.NextInterarrival());
+  EXPECT_NEAR(sum_s / n, 0.5, 0.02);  // 2 TPS -> 0.5 s mean gap.
+}
+
+TEST(WorkloadTest, InterarrivalsNonNegative) {
+  WorkloadGenerator gen(Pattern::Experiment1(16), 1.4, 1, ErrorModel{}, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(gen.NextInterarrival(), 0);
+}
+
+TEST(WorkloadTest, SameSeedSameWorkload) {
+  WorkloadGenerator a(Pattern::Experiment1(16), 1.0, 1, ErrorModel{}, 5);
+  WorkloadGenerator b(Pattern::Experiment1(16), 1.0, 1, ErrorModel{}, 5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextInterarrival(), b.NextInterarrival());
+    auto ta = a.NextTransaction();
+    auto tb = b.NextTransaction();
+    ASSERT_EQ(ta->num_steps(), tb->num_steps());
+    for (int s = 0; s < ta->num_steps(); ++s) {
+      EXPECT_EQ(ta->step(s).file, tb->step(s).file);
+      EXPECT_EQ(ta->step(s).declared_cost, tb->step(s).declared_cost);
+    }
+  }
+}
+
+TEST(WorkloadTest, ArrivalStreamIndependentOfPatternDraws) {
+  // Common-random-numbers property: consuming a different number of pattern
+  // draws must not perturb arrival times.
+  WorkloadGenerator a(Pattern::Experiment1(16), 1.0, 1, ErrorModel{}, 5);
+  WorkloadGenerator b(Pattern::Experiment1(16), 1.0, 1, ErrorModel{}, 5);
+  a.NextTransaction();
+  a.NextTransaction();
+  a.NextTransaction();
+  EXPECT_EQ(a.NextInterarrival(), b.NextInterarrival());
+}
+
+TEST(WorkloadTest, DdPropagatesToDeclarations) {
+  WorkloadGenerator gen(Pattern::Experiment1(16), 1.0, 8, ErrorModel{}, 1);
+  auto txn = gen.NextTransaction();
+  EXPECT_DOUBLE_EQ(txn->step(1).declared_cost, 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(txn->step(1).actual_cost, 5.0);
+}
+
+}  // namespace
+}  // namespace wtpgsched
+
+namespace wtpgsched {
+namespace {
+
+TEST(WorkloadMixTest, SingletonMixEquivalentToPattern) {
+  WorkloadGenerator single(Pattern::Experiment1(16), 1.0, 1, ErrorModel{}, 5);
+  std::vector<WeightedPattern> mix;
+  mix.push_back(WeightedPattern{Pattern::Experiment1(16), 1.0});
+  WorkloadGenerator mixed(std::move(mix), 1.0, 1, ErrorModel{}, 5);
+  for (int i = 0; i < 20; ++i) {
+    auto a = single.NextTransaction();
+    auto b = mixed.NextTransaction();
+    ASSERT_EQ(a->num_steps(), b->num_steps());
+    for (int s = 0; s < a->num_steps(); ++s) {
+      EXPECT_EQ(a->step(s).file, b->step(s).file);
+    }
+  }
+}
+
+TEST(WorkloadMixTest, WeightsControlShares) {
+  std::vector<WeightedPattern> mix;
+  mix.push_back(WeightedPattern{Pattern::Experiment1(16), 3.0});  // 4 steps.
+  mix.push_back(WeightedPattern{Pattern::Experiment2(), 1.0});    // 3 steps.
+  WorkloadGenerator gen(std::move(mix), 1.0, 1, ErrorModel{}, 9);
+  int exp1 = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.NextTransaction()->num_steps() == 4) ++exp1;
+  }
+  EXPECT_NEAR(static_cast<double>(exp1) / n, 0.75, 0.03);
+}
+
+TEST(WorkloadMixTest, MaxFileIdOverMix) {
+  std::vector<WeightedPattern> mix;
+  mix.push_back(WeightedPattern{Pattern::Experiment1(8), 1.0});   // 0..7.
+  mix.push_back(WeightedPattern{Pattern::Experiment2(), 1.0});    // 0..15.
+  WorkloadGenerator gen(std::move(mix), 1.0, 1, ErrorModel{}, 9);
+  EXPECT_EQ(gen.MaxFileId(), 15);
+}
+
+}  // namespace
+}  // namespace wtpgsched
+
+namespace wtpgsched {
+namespace {
+
+TEST(WorkloadMixTest, ClassTagsMatchMixComponent) {
+  std::vector<WeightedPattern> mix;
+  mix.push_back(WeightedPattern{Pattern::Experiment1(16), 1.0});  // 4 steps.
+  mix.push_back(WeightedPattern{Pattern::Experiment2(), 1.0});    // 3 steps.
+  WorkloadGenerator gen(std::move(mix), 1.0, 1, ErrorModel{}, 13);
+  for (int i = 0; i < 200; ++i) {
+    auto txn = gen.NextTransaction();
+    EXPECT_EQ(txn->workload_class, txn->num_steps() == 4 ? 0 : 1);
+  }
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,101 @@
+// Equivalence of the worklist-based forced-closure implementation against a
+// naive reference: after any successful orientation, re-running a
+// fixpoint "force every conflict edge with a connecting path" loop must
+// change nothing, and failures must coincide with the reference's cycles.
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "wtpg/wtpg.h"
+
+namespace wtpgsched {
+namespace {
+
+// Naive fixpoint closure on a copy. Returns false on a forced cycle.
+bool ReferenceClosure(Wtpg* g) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : g->UnorientedEdges()) {
+      const bool ab = g->HasPath(a, b);
+      const bool ba = g->HasPath(b, a);
+      if (ab && ba) return false;
+      if (ab) {
+        if (!g->OrientNoRollback(a, b)) return false;
+        changed = true;
+      } else if (ba) {
+        if (!g->OrientNoRollback(b, a)) return false;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+// True if every edge of `a` has the same orientation state in `b`.
+bool SameOrientations(const Wtpg& a, const Wtpg& b) {
+  for (TxnId id : a.Nodes()) {
+    for (TxnId nb : a.Neighbors(id)) {
+      const Wtpg::Edge* ea = a.FindEdge(id, nb);
+      const Wtpg::Edge* eb = b.FindEdge(id, nb);
+      if (eb == nullptr) return false;
+      if (ea->oriented != eb->oriented) return false;
+      if (ea->oriented && ea->from != eb->from) return false;
+    }
+  }
+  return true;
+}
+
+struct RefCase {
+  int nodes;
+  double edge_prob;
+  uint64_t seed;
+};
+
+class ClosureReferenceTest : public testing::TestWithParam<RefCase> {};
+
+TEST_P(ClosureReferenceTest, WorklistClosureIsAFixpoint) {
+  const RefCase param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    Wtpg g;
+    for (int i = 1; i <= param.nodes; ++i) g.AddNode(i, 0.0);
+    std::vector<std::pair<TxnId, TxnId>> pairs;
+    for (int a = 1; a <= param.nodes; ++a) {
+      for (int b = a + 1; b <= param.nodes; ++b) {
+        if (rng.NextDouble() < param.edge_prob) {
+          g.AddConflictEdge(a, b, 1.0, 1.0);
+          pairs.emplace_back(a, b);
+        }
+      }
+    }
+    // Random orientation sequence.
+    for (size_t k = 0; k < 2 * pairs.size(); ++k) {
+      if (pairs.empty()) break;
+      const auto [a, b] =
+          pairs[static_cast<size_t>(rng.UniformInt(0, pairs.size() - 1))];
+      const bool forward = rng.NextDouble() < 0.5;
+      const TxnId from = forward ? a : b;
+      const TxnId to = forward ? b : a;
+      if (!g.TryOrient(from, to)) continue;
+      // After a successful orientation the closure must already be a
+      // fixpoint: the reference loop finds nothing to force.
+      Wtpg reference = g;
+      ASSERT_TRUE(ReferenceClosure(&reference));
+      EXPECT_TRUE(SameOrientations(g, reference))
+          << "worklist closure missed a forced edge (trial " << trial << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosureReferenceTest,
+    testing::Values(RefCase{5, 0.5, 71}, RefCase{7, 0.4, 72},
+                    RefCase{9, 0.35, 73}, RefCase{12, 0.25, 74}),
+    [](const testing::TestParamInfo<RefCase>& info) {
+      return "n" + std::to_string(info.param.nodes) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace wtpgsched

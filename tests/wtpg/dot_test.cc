@@ -1,0 +1,62 @@
+#include "wtpg/dot.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(DotTest, EmptyGraph) {
+  Wtpg g;
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("T0"), std::string::npos);
+}
+
+TEST(DotTest, NodesAndT0Edges) {
+  Wtpg g;
+  g.AddNode(1, 5.0);
+  g.AddNode(2, 3.5);
+  const std::string dot = ToDot(g, "test");
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("T0 -> T1 [label=\"5\""), std::string::npos);
+  EXPECT_NE(dot.find("T0 -> T2 [label=\"3.5\""), std::string::npos);
+}
+
+TEST(DotTest, ConflictEdgeDashedWithBothWeights) {
+  Wtpg g;
+  g.AddNode(1, 0.0);
+  g.AddNode(2, 0.0);
+  g.AddConflictEdge(1, 2, 2.0, 5.0);
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("label=\"2/5\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, OrientedEdgeSolidDirectional) {
+  Wtpg g;
+  g.AddNode(1, 0.0);
+  g.AddNode(2, 0.0);
+  g.AddConflictEdge(1, 2, 2.0, 5.0);
+  g.TryOrient(2, 1);
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("T2 -> T1 [label=\"5\""), std::string::npos);
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, EachEdgeEmittedOnce) {
+  Wtpg g;
+  for (TxnId id : {1, 2, 3}) g.AddNode(id, 0.0);
+  g.AddConflictEdge(1, 2, 1.0, 1.0);
+  g.AddConflictEdge(2, 3, 1.0, 1.0);
+  const std::string dot = ToDot(g);
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = dot.find("dir=both", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,218 @@
+// wtpg_sim — command-line driver for the batch-transaction scheduling
+// simulator. Runs one configuration and prints the run statistics; the
+// workload can be one of the paper's experiments or an arbitrary pattern in
+// the paper's notation.
+//
+// Examples:
+//   wtpg_sim --scheduler=low --rate=0.8 --dd=2
+//   wtpg_sim --scheduler=gow --workload=exp2 --rate=1.0
+//   wtpg_sim --scheduler=c2pl --mpl=8 --rate=1.2
+//            --pattern="x(F1:1) -> x(F2:5) -> w(F1:0.2) -> w(F2:1)"
+//   wtpg_sim --scheduler=2pl --verify   # serializability check at the end
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/serializability.h"
+#include "machine/machine.h"
+#include "util/flags.h"
+#include "workload/pattern_parser.h"
+#include "wtpg/dot.h"
+
+using namespace wtpgsched;
+
+namespace {
+
+const std::map<std::string, SchedulerKind>& SchedulerNames() {
+  static const auto* names = new std::map<std::string, SchedulerKind>{
+      {"nodc", SchedulerKind::kNodc}, {"asl", SchedulerKind::kAsl},
+      {"c2pl", SchedulerKind::kC2pl}, {"opt", SchedulerKind::kOpt},
+      {"gow", SchedulerKind::kGow},   {"low", SchedulerKind::kLow},
+      {"low-lb", SchedulerKind::kLowLb}, {"2pl", SchedulerKind::kTwoPl}};
+  return *names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("scheduler", "low",
+                  "nodc|asl|c2pl|opt|gow|low|low-lb|2pl");
+  flags.AddString("workload", "exp1", "exp1|exp2 (ignored with --pattern)");
+  flags.AddString("pattern", "", "pattern notation, e.g. 'r(A:1) -> w(B:2)'");
+  flags.AddInt("num-files", 16, "number of files (locking granules)");
+  flags.AddInt("num-nodes", 8, "number of data-processing nodes");
+  flags.AddInt("dd", 1, "degree of declustering");
+  flags.AddDouble("rate", 0.8, "arrival rate (TPS)");
+  flags.AddDouble("horizon-ms", 2'000'000, "simulated milliseconds");
+  flags.AddDouble("warmup-ms", 0, "measurement warmup (ms)");
+  flags.AddDouble("sigma", 0.0, "declaration error stddev (Experiment 3)");
+  flags.AddInt("mpl", 0, "multiprogramming limit (0 = unlimited)");
+  flags.AddInt("low-k", 2, "LOW's conflict bound K");
+  flags.AddInt("seed", 1, "RNG seed");
+  flags.AddInt("max-arrivals", 0, "stop arrivals after N transactions (0 = off)");
+  flags.AddBool("verify", false, "check conflict-serializability at the end");
+  flags.AddString("timeline-csv", "",
+                  "sample system state every --timeline-ms into this CSV");
+  flags.AddDouble("timeline-ms", 10'000, "timeline sampling period (ms)");
+  flags.AddBool("json", false, "print run stats as one JSON object");
+  flags.AddString("dot-out", "",
+                  "dump the scheduler's WTPG as Graphviz DOT to this file");
+  flags.AddDouble("dot-at-ms", 100'000,
+                  "simulated time of the WTPG snapshot for --dot-out");
+  flags.AddBool("help", false, "print usage");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+
+  auto it = SchedulerNames().find(flags.GetString("scheduler"));
+  if (it == SchedulerNames().end()) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n",
+                 flags.GetString("scheduler").c_str());
+    return 2;
+  }
+
+  SimConfig config;
+  config.scheduler = it->second;
+  config.num_files = static_cast<int>(flags.GetInt("num-files"));
+  config.num_nodes = static_cast<int>(flags.GetInt("num-nodes"));
+  config.dd = static_cast<int>(flags.GetInt("dd"));
+  config.arrival_rate_tps = flags.GetDouble("rate");
+  config.horizon_ms = flags.GetDouble("horizon-ms");
+  config.warmup_ms = flags.GetDouble("warmup-ms");
+  config.error_sigma = flags.GetDouble("sigma");
+  config.low_k = static_cast<int>(flags.GetInt("low-k"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.max_arrivals = static_cast<uint64_t>(flags.GetInt("max-arrivals"));
+  if (flags.GetInt("mpl") > 0) {
+    config.mpl = static_cast<int>(flags.GetInt("mpl"));
+  }
+  if (!flags.GetString("timeline-csv").empty()) {
+    config.timeline_sample_ms = flags.GetDouble("timeline-ms");
+  }
+  status = config.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  Pattern pattern = Pattern::Experiment1(config.num_files);
+  if (!flags.GetString("pattern").empty()) {
+    StatusOr<Pattern> parsed =
+        ParsePattern(flags.GetString("pattern"), config.num_files);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --pattern: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    pattern = std::move(parsed).value();
+  } else if (flags.GetString("workload") == "exp2") {
+    pattern = Pattern::Experiment2();
+  } else if (flags.GetString("workload") != "exp1") {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 flags.GetString("workload").c_str());
+    return 2;
+  }
+
+  Machine machine(config, std::move(pattern));
+
+  // Optional WTPG snapshot: schedule a dump before running.
+  std::string dot_snapshot;
+  if (!flags.GetString("dot-out").empty()) {
+    auto* graph_scheduler =
+        dynamic_cast<WtpgSchedulerBase*>(&machine.scheduler());
+    if (graph_scheduler == nullptr) {
+      std::fprintf(stderr,
+                   "--dot-out requires a WTPG scheduler (c2pl/gow/low)\n");
+      return 2;
+    }
+    machine.simulator().ScheduleAt(
+        MsToTime(flags.GetDouble("dot-at-ms")),
+        [graph_scheduler, &dot_snapshot] {
+          dot_snapshot = ToDot(graph_scheduler->graph(), "WTPG snapshot");
+        });
+  }
+
+  const RunStats stats = machine.Run();
+
+  if (!flags.GetString("dot-out").empty()) {
+    std::FILE* f = std::fopen(flags.GetString("dot-out").c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.GetString("dot-out").c_str());
+      return 1;
+    }
+    std::fputs(dot_snapshot.c_str(), f);
+    std::fclose(f);
+    std::printf("WTPG snapshot -> %s (at %.0f ms)\n",
+                flags.GetString("dot-out").c_str(),
+                flags.GetDouble("dot-at-ms"));
+  }
+
+  if (flags.GetBool("json")) {
+    std::printf("%s\n", stats.ToJson().c_str());
+    if (flags.GetBool("verify")) {
+      const SerializabilityResult result =
+          CheckConflictSerializability(machine.schedule_log());
+      if (!result.serializable && config.scheduler != SchedulerKind::kNodc) {
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  std::printf("scheduler          %s\n", machine.scheduler().name().c_str());
+  std::printf("simulated          %.0f s\n", stats.sim_seconds);
+  std::printf("arrivals           %llu\n",
+              static_cast<unsigned long long>(stats.arrivals));
+  std::printf("completions        %llu (in window: %llu)\n",
+              static_cast<unsigned long long>(stats.completions),
+              static_cast<unsigned long long>(stats.completions_measured));
+  std::printf("in flight at end   %llu\n",
+              static_cast<unsigned long long>(stats.in_flight_at_end));
+  std::printf("mean response      %.2f s (median %.2f, p95 %.2f)\n",
+              stats.mean_response_s, stats.median_response_s,
+              stats.p95_response_s);
+  std::printf("throughput         %.3f TPS\n", stats.throughput_tps);
+  std::printf("blocked/delayed    %llu / %llu\n",
+              static_cast<unsigned long long>(stats.blocked),
+              static_cast<unsigned long long>(stats.delayed));
+  std::printf("start rejections   %llu\n",
+              static_cast<unsigned long long>(stats.start_rejections));
+  std::printf("restarts           %llu\n",
+              static_cast<unsigned long long>(stats.restarts));
+  std::printf("CN utilization     %.1f%%\n", 100.0 * stats.cn_utilization);
+  std::printf("DPN utilization    mean %.1f%%, max %.1f%%\n",
+              100.0 * stats.mean_dpn_utilization,
+              100.0 * stats.max_dpn_utilization);
+
+  if (!flags.GetString("timeline-csv").empty()) {
+    const Status written =
+        machine.timeline().WriteCsv(flags.GetString("timeline-csv"));
+    if (!written.ok()) {
+      std::fprintf(stderr, "timeline: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("timeline           %s (%zu samples)\n",
+                flags.GetString("timeline-csv").c_str(),
+                machine.timeline().samples().size());
+  }
+
+  if (flags.GetBool("verify")) {
+    const SerializabilityResult result =
+        CheckConflictSerializability(machine.schedule_log());
+    std::printf("serializability    %s\n", result.ToString().c_str());
+    if (!result.serializable && config.scheduler != SchedulerKind::kNodc) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// wtpg_sweep — the experiment harness as a command-line tool: arrival-rate
+// sweeps and the "throughput at a response-time target" operating-point
+// search for any scheduler/workload combination, with CSV output.
+//
+// Examples:
+//   wtpg_sweep --mode=rates --scheduler=low --rates=0.2,0.4,0.8,1.2
+//   wtpg_sweep --mode=rt-target --scheduler=gow --target-s=70 --dd=2
+//   wtpg_sweep --mode=mpl --scheduler=c2pl --rate=1.2
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "driver/report.h"
+#include "driver/sweep.h"
+#include "machine/config.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "workload/pattern_parser.h"
+
+using namespace wtpgsched;
+
+namespace {
+
+std::vector<double> ParseRates(const std::string& csv) {
+  std::vector<double> rates;
+  std::string current;
+  for (char c : csv + ",") {
+    if (c == ',') {
+      if (!current.empty()) rates.push_back(std::atof(current.c_str()));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("mode", "rates", "rates|rt-target|mpl");
+  flags.AddString("scheduler", "low", "nodc|asl|c2pl|opt|gow|low|low-lb|2pl");
+  flags.AddString("workload", "exp1", "exp1|exp2");
+  flags.AddString("pattern", "", "pattern notation (overrides --workload)");
+  flags.AddString("rates", "0.2,0.4,0.6,0.8,1.0,1.2,1.4",
+                  "rates for --mode=rates");
+  flags.AddDouble("rate", 1.2, "fixed rate for --mode=mpl");
+  flags.AddDouble("target-s", 70.0, "response-time target (rt-target mode)");
+  flags.AddInt("num-files", 16, "number of files");
+  flags.AddInt("dd", 1, "degree of declustering");
+  flags.AddDouble("sigma", 0.0, "declaration error stddev");
+  flags.AddDouble("horizon-ms", 2'000'000, "simulated milliseconds");
+  flags.AddInt("seeds", 1, "seeds per data point");
+  flags.AddInt("iters", 9, "bisection iterations (rt-target mode)");
+  flags.AddInt("seed", 1, "base RNG seed");
+  flags.AddString("csv", "", "also write the table to this CSV file");
+  flags.AddBool("help", false, "print usage");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+
+  static const std::map<std::string, SchedulerKind> kNames = {
+      {"nodc", SchedulerKind::kNodc}, {"asl", SchedulerKind::kAsl},
+      {"c2pl", SchedulerKind::kC2pl}, {"opt", SchedulerKind::kOpt},
+      {"gow", SchedulerKind::kGow},   {"low", SchedulerKind::kLow},
+      {"low-lb", SchedulerKind::kLowLb}, {"2pl", SchedulerKind::kTwoPl}};
+  auto it = kNames.find(flags.GetString("scheduler"));
+  if (it == kNames.end()) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n",
+                 flags.GetString("scheduler").c_str());
+    return 2;
+  }
+
+  SimConfig config;
+  config.scheduler = it->second;
+  config.num_files = static_cast<int>(flags.GetInt("num-files"));
+  config.dd = static_cast<int>(flags.GetInt("dd"));
+  config.error_sigma = flags.GetDouble("sigma");
+  config.horizon_ms = flags.GetDouble("horizon-ms");
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.arrival_rate_tps = flags.GetDouble("rate");
+
+  Pattern pattern = flags.GetString("workload") == "exp2"
+                        ? Pattern::Experiment2()
+                        : Pattern::Experiment1(config.num_files);
+  if (!flags.GetString("pattern").empty()) {
+    StatusOr<Pattern> parsed =
+        ParsePattern(flags.GetString("pattern"), config.num_files);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --pattern: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    pattern = std::move(parsed).value();
+  }
+
+  const int seeds = static_cast<int>(flags.GetInt("seeds"));
+  const std::string mode = flags.GetString("mode");
+  TablePrinter* table = nullptr;
+
+  if (mode == "rates") {
+    const std::vector<double> rates = ParseRates(flags.GetString("rates"));
+    if (rates.empty()) {
+      std::fprintf(stderr, "--rates is empty\n");
+      return 2;
+    }
+    static TablePrinter t({"lambda(tps)", "mean RT(s)", "median(s)",
+                           "tput(tps)", "blocked", "delayed", "restarts"});
+    for (const SweepPoint& p :
+         SweepArrivalRates(config, pattern, rates, seeds)) {
+      t.AddRow({FmtTps(p.lambda_tps), FmtSeconds(p.result.mean_response_s),
+                FmtSeconds(0.0), FmtTps(p.result.throughput_tps),
+                FormatDouble(p.result.blocked, 0),
+                FormatDouble(p.result.delayed, 0),
+                FormatDouble(p.result.restarts, 0)});
+    }
+    table = &t;
+  } else if (mode == "rt-target") {
+    const OperatingPoint op = FindRateForResponseTime(
+        config, pattern, flags.GetDouble("target-s"), 0.05, 1.6, seeds,
+        static_cast<int>(flags.GetInt("iters")), 2.5);
+    static TablePrinter t(
+        {"lambda(tps)", "mean RT(s)", "tput(tps)", "converged"});
+    t.AddRow({FmtTps(op.lambda_tps), FmtSeconds(op.mean_response_s),
+              FmtTps(op.throughput_tps), op.converged ? "yes" : "no"});
+    table = &t;
+  } else if (mode == "mpl") {
+    if (config.scheduler != SchedulerKind::kC2pl) {
+      std::fprintf(stderr, "--mode=mpl requires --scheduler=c2pl\n");
+      return 2;
+    }
+    const MplChoice choice =
+        TuneMpl(config, pattern, DefaultMplCandidates(), seeds);
+    static TablePrinter t({"best mpl", "mean RT(s)", "tput(tps)"});
+    t.AddRow({StrCat(choice.mpl), FmtSeconds(choice.result.mean_response_s),
+              FmtTps(choice.result.throughput_tps)});
+    table = &t;
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  table->Print();
+  if (!flags.GetString("csv").empty()) {
+    const Status written = table->WriteCsv(flags.GetString("csv"));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
