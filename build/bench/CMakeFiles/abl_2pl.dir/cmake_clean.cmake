@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_2pl.dir/abl_2pl.cc.o"
+  "CMakeFiles/abl_2pl.dir/abl_2pl.cc.o.d"
+  "abl_2pl"
+  "abl_2pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_2pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

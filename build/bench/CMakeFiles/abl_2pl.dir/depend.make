@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_2pl.
+# This may be replaced when dependencies are built.

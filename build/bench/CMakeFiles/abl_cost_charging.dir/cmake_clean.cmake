@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cost_charging.dir/abl_cost_charging.cc.o"
+  "CMakeFiles/abl_cost_charging.dir/abl_cost_charging.cc.o.d"
+  "abl_cost_charging"
+  "abl_cost_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cost_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_low_k.dir/abl_low_k.cc.o"
+  "CMakeFiles/abl_low_k.dir/abl_low_k.cc.o.d"
+  "abl_low_k"
+  "abl_low_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_low_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_low_lb.dir/abl_low_lb.cc.o"
+  "CMakeFiles/abl_low_lb.dir/abl_low_lb.cc.o.d"
+  "abl_low_lb"
+  "abl_low_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_low_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quantum.dir/abl_quantum.cc.o"
+  "CMakeFiles/abl_quantum.dir/abl_quantum.cc.o.d"
+  "abl_quantum"
+  "abl_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_retry.dir/abl_retry.cc.o"
+  "CMakeFiles/abl_retry.dir/abl_retry.cc.o.d"
+  "abl_retry"
+  "abl_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

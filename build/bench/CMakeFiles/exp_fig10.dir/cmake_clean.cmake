@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig10.dir/exp_fig10.cc.o"
+  "CMakeFiles/exp_fig10.dir/exp_fig10.cc.o.d"
+  "exp_fig10"
+  "exp_fig10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

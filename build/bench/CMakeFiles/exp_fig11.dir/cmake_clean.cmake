@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig11.dir/exp_fig11.cc.o"
+  "CMakeFiles/exp_fig11.dir/exp_fig11.cc.o.d"
+  "exp_fig11"
+  "exp_fig11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

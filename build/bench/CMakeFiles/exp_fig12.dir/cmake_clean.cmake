@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig12.dir/exp_fig12.cc.o"
+  "CMakeFiles/exp_fig12.dir/exp_fig12.cc.o.d"
+  "exp_fig12"
+  "exp_fig12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig13.dir/exp_fig13.cc.o"
+  "CMakeFiles/exp_fig13.dir/exp_fig13.cc.o.d"
+  "exp_fig13"
+  "exp_fig13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig8.dir/exp_fig8.cc.o"
+  "CMakeFiles/exp_fig8.dir/exp_fig8.cc.o.d"
+  "exp_fig8"
+  "exp_fig8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

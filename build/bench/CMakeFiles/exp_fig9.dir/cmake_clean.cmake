@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig9.dir/exp_fig9.cc.o"
+  "CMakeFiles/exp_fig9.dir/exp_fig9.cc.o.d"
+  "exp_fig9"
+  "exp_fig9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table2.dir/exp_table2.cc.o"
+  "CMakeFiles/exp_table2.dir/exp_table2.cc.o.d"
+  "exp_table2"
+  "exp_table2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

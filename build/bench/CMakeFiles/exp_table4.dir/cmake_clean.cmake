@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table4.dir/exp_table4.cc.o"
+  "CMakeFiles/exp_table4.dir/exp_table4.cc.o.d"
+  "exp_table4"
+  "exp_table4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

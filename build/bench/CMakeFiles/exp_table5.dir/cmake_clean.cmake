@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table5.dir/exp_table5.cc.o"
+  "CMakeFiles/exp_table5.dir/exp_table5.cc.o.d"
+  "exp_table5"
+  "exp_table5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wtpg.dir/micro_wtpg.cc.o"
+  "CMakeFiles/micro_wtpg.dir/micro_wtpg.cc.o.d"
+  "micro_wtpg"
+  "micro_wtpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wtpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

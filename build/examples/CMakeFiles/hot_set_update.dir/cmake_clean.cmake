@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_set_update.dir/hot_set_update.cpp.o"
+  "CMakeFiles/hot_set_update.dir/hot_set_update.cpp.o.d"
+  "hot_set_update"
+  "hot_set_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_set_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/schedule_log.cc" "src/CMakeFiles/wtpg_sched.dir/analysis/schedule_log.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/analysis/schedule_log.cc.o.d"
+  "/root/repo/src/analysis/serializability.cc" "src/CMakeFiles/wtpg_sched.dir/analysis/serializability.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/analysis/serializability.cc.o.d"
+  "/root/repo/src/driver/experiments.cc" "src/CMakeFiles/wtpg_sched.dir/driver/experiments.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/driver/experiments.cc.o.d"
+  "/root/repo/src/driver/report.cc" "src/CMakeFiles/wtpg_sched.dir/driver/report.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/driver/report.cc.o.d"
+  "/root/repo/src/driver/sim_run.cc" "src/CMakeFiles/wtpg_sched.dir/driver/sim_run.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/driver/sim_run.cc.o.d"
+  "/root/repo/src/driver/sweep.cc" "src/CMakeFiles/wtpg_sched.dir/driver/sweep.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/driver/sweep.cc.o.d"
+  "/root/repo/src/lock/lock_table.cc" "src/CMakeFiles/wtpg_sched.dir/lock/lock_table.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/lock/lock_table.cc.o.d"
+  "/root/repo/src/machine/config.cc" "src/CMakeFiles/wtpg_sched.dir/machine/config.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/machine/config.cc.o.d"
+  "/root/repo/src/machine/control_node.cc" "src/CMakeFiles/wtpg_sched.dir/machine/control_node.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/machine/control_node.cc.o.d"
+  "/root/repo/src/machine/data_placement.cc" "src/CMakeFiles/wtpg_sched.dir/machine/data_placement.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/machine/data_placement.cc.o.d"
+  "/root/repo/src/machine/dpn.cc" "src/CMakeFiles/wtpg_sched.dir/machine/dpn.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/machine/dpn.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/wtpg_sched.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/machine/machine.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/CMakeFiles/wtpg_sched.dir/metrics/stats.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/metrics/stats.cc.o.d"
+  "/root/repo/src/metrics/timeline.cc" "src/CMakeFiles/wtpg_sched.dir/metrics/timeline.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/metrics/timeline.cc.o.d"
+  "/root/repo/src/model/lock_mode.cc" "src/CMakeFiles/wtpg_sched.dir/model/lock_mode.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/model/lock_mode.cc.o.d"
+  "/root/repo/src/model/transaction.cc" "src/CMakeFiles/wtpg_sched.dir/model/transaction.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/model/transaction.cc.o.d"
+  "/root/repo/src/sched/asl.cc" "src/CMakeFiles/wtpg_sched.dir/sched/asl.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/asl.cc.o.d"
+  "/root/repo/src/sched/c2pl.cc" "src/CMakeFiles/wtpg_sched.dir/sched/c2pl.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/c2pl.cc.o.d"
+  "/root/repo/src/sched/gow.cc" "src/CMakeFiles/wtpg_sched.dir/sched/gow.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/gow.cc.o.d"
+  "/root/repo/src/sched/low.cc" "src/CMakeFiles/wtpg_sched.dir/sched/low.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/low.cc.o.d"
+  "/root/repo/src/sched/low_lb.cc" "src/CMakeFiles/wtpg_sched.dir/sched/low_lb.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/low_lb.cc.o.d"
+  "/root/repo/src/sched/nodc.cc" "src/CMakeFiles/wtpg_sched.dir/sched/nodc.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/nodc.cc.o.d"
+  "/root/repo/src/sched/opt.cc" "src/CMakeFiles/wtpg_sched.dir/sched/opt.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/opt.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/wtpg_sched.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/scheduler_factory.cc" "src/CMakeFiles/wtpg_sched.dir/sched/scheduler_factory.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/scheduler_factory.cc.o.d"
+  "/root/repo/src/sched/two_pl.cc" "src/CMakeFiles/wtpg_sched.dir/sched/two_pl.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sched/two_pl.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/wtpg_sched.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/fcfs_server.cc" "src/CMakeFiles/wtpg_sched.dir/sim/fcfs_server.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sim/fcfs_server.cc.o.d"
+  "/root/repo/src/sim/round_robin_server.cc" "src/CMakeFiles/wtpg_sched.dir/sim/round_robin_server.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sim/round_robin_server.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/wtpg_sched.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/wtpg_sched.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/wtpg_sched.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/wtpg_sched.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/CMakeFiles/wtpg_sched.dir/util/json_writer.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/json_writer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/wtpg_sched.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/wtpg_sched.dir/util/random.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/wtpg_sched.dir/util/status.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/wtpg_sched.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/pattern.cc" "src/CMakeFiles/wtpg_sched.dir/workload/pattern.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/workload/pattern.cc.o.d"
+  "/root/repo/src/workload/pattern_parser.cc" "src/CMakeFiles/wtpg_sched.dir/workload/pattern_parser.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/workload/pattern_parser.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/wtpg_sched.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/workload/workload.cc.o.d"
+  "/root/repo/src/wtpg/chain.cc" "src/CMakeFiles/wtpg_sched.dir/wtpg/chain.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/wtpg/chain.cc.o.d"
+  "/root/repo/src/wtpg/dot.cc" "src/CMakeFiles/wtpg_sched.dir/wtpg/dot.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/wtpg/dot.cc.o.d"
+  "/root/repo/src/wtpg/wtpg.cc" "src/CMakeFiles/wtpg_sched.dir/wtpg/wtpg.cc.o" "gcc" "src/CMakeFiles/wtpg_sched.dir/wtpg/wtpg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

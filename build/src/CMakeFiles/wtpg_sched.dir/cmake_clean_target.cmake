@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwtpg_sched.a"
+)

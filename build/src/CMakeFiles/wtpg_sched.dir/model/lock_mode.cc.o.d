@@ -1,0 +1,3 @@
+src/CMakeFiles/wtpg_sched.dir/model/lock_mode.cc.o: \
+ /root/repo/src/model/lock_mode.cc /usr/include/stdc-predef.h \
+ /root/repo/src/model/lock_mode.h

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/config_test.cc" "tests/CMakeFiles/machine_test.dir/machine/config_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/config_test.cc.o.d"
+  "/root/repo/tests/machine/cost_accounting_test.cc" "tests/CMakeFiles/machine_test.dir/machine/cost_accounting_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/cost_accounting_test.cc.o.d"
+  "/root/repo/tests/machine/data_placement_test.cc" "tests/CMakeFiles/machine_test.dir/machine/data_placement_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/data_placement_test.cc.o.d"
+  "/root/repo/tests/machine/machine_test.cc" "tests/CMakeFiles/machine_test.dir/machine/machine_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/machine_test.cc.o.d"
+  "/root/repo/tests/machine/mixed_workload_test.cc" "tests/CMakeFiles/machine_test.dir/machine/mixed_workload_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/mixed_workload_test.cc.o.d"
+  "/root/repo/tests/machine/node_models_test.cc" "tests/CMakeFiles/machine_test.dir/machine/node_models_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/node_models_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wtpg_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

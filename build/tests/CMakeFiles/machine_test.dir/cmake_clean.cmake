@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_test.dir/machine/config_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/config_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/cost_accounting_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/cost_accounting_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/data_placement_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/data_placement_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/machine_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/machine_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/mixed_workload_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/mixed_workload_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/node_models_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/node_models_test.cc.o.d"
+  "machine_test"
+  "machine_test.pdb"
+  "machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

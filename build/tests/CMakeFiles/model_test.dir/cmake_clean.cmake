@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/model/lock_mode_test.cc.o"
+  "CMakeFiles/model_test.dir/model/lock_mode_test.cc.o.d"
+  "CMakeFiles/model_test.dir/model/lock_table_test.cc.o"
+  "CMakeFiles/model_test.dir/model/lock_table_test.cc.o.d"
+  "CMakeFiles/model_test.dir/model/transaction_test.cc.o"
+  "CMakeFiles/model_test.dir/model/transaction_test.cc.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

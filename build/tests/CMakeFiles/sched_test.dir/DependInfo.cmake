@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/c2pl_test.cc" "tests/CMakeFiles/sched_test.dir/sched/c2pl_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/c2pl_test.cc.o.d"
+  "/root/repo/tests/sched/factory_test.cc" "tests/CMakeFiles/sched_test.dir/sched/factory_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/factory_test.cc.o.d"
+  "/root/repo/tests/sched/gow_test.cc" "tests/CMakeFiles/sched_test.dir/sched/gow_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/gow_test.cc.o.d"
+  "/root/repo/tests/sched/low_test.cc" "tests/CMakeFiles/sched_test.dir/sched/low_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/low_test.cc.o.d"
+  "/root/repo/tests/sched/nodc_asl_test.cc" "tests/CMakeFiles/sched_test.dir/sched/nodc_asl_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/nodc_asl_test.cc.o.d"
+  "/root/repo/tests/sched/opt_test.cc" "tests/CMakeFiles/sched_test.dir/sched/opt_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/opt_test.cc.o.d"
+  "/root/repo/tests/sched/scheduler_base_test.cc" "tests/CMakeFiles/sched_test.dir/sched/scheduler_base_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/scheduler_base_test.cc.o.d"
+  "/root/repo/tests/sched/scheduler_invariants_test.cc" "tests/CMakeFiles/sched_test.dir/sched/scheduler_invariants_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/scheduler_invariants_test.cc.o.d"
+  "/root/repo/tests/sched/two_pl_test.cc" "tests/CMakeFiles/sched_test.dir/sched/two_pl_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/two_pl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wtpg_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

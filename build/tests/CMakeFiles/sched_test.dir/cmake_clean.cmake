@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/c2pl_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/c2pl_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/factory_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/factory_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/gow_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/gow_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/low_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/low_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/nodc_asl_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/nodc_asl_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/opt_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/opt_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/scheduler_base_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/scheduler_base_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/scheduler_invariants_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/scheduler_invariants_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/two_pl_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/two_pl_test.cc.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

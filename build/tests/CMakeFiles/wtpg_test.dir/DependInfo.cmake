@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wtpg/chain_property_test.cc" "tests/CMakeFiles/wtpg_test.dir/wtpg/chain_property_test.cc.o" "gcc" "tests/CMakeFiles/wtpg_test.dir/wtpg/chain_property_test.cc.o.d"
+  "/root/repo/tests/wtpg/chain_test.cc" "tests/CMakeFiles/wtpg_test.dir/wtpg/chain_test.cc.o" "gcc" "tests/CMakeFiles/wtpg_test.dir/wtpg/chain_test.cc.o.d"
+  "/root/repo/tests/wtpg/closure_reference_test.cc" "tests/CMakeFiles/wtpg_test.dir/wtpg/closure_reference_test.cc.o" "gcc" "tests/CMakeFiles/wtpg_test.dir/wtpg/closure_reference_test.cc.o.d"
+  "/root/repo/tests/wtpg/dot_test.cc" "tests/CMakeFiles/wtpg_test.dir/wtpg/dot_test.cc.o" "gcc" "tests/CMakeFiles/wtpg_test.dir/wtpg/dot_test.cc.o.d"
+  "/root/repo/tests/wtpg/fig3_scenario_test.cc" "tests/CMakeFiles/wtpg_test.dir/wtpg/fig3_scenario_test.cc.o" "gcc" "tests/CMakeFiles/wtpg_test.dir/wtpg/fig3_scenario_test.cc.o.d"
+  "/root/repo/tests/wtpg/wtpg_test.cc" "tests/CMakeFiles/wtpg_test.dir/wtpg/wtpg_test.cc.o" "gcc" "tests/CMakeFiles/wtpg_test.dir/wtpg/wtpg_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wtpg_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

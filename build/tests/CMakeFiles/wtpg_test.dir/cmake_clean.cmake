@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtpg_test.dir/wtpg/chain_property_test.cc.o"
+  "CMakeFiles/wtpg_test.dir/wtpg/chain_property_test.cc.o.d"
+  "CMakeFiles/wtpg_test.dir/wtpg/chain_test.cc.o"
+  "CMakeFiles/wtpg_test.dir/wtpg/chain_test.cc.o.d"
+  "CMakeFiles/wtpg_test.dir/wtpg/closure_reference_test.cc.o"
+  "CMakeFiles/wtpg_test.dir/wtpg/closure_reference_test.cc.o.d"
+  "CMakeFiles/wtpg_test.dir/wtpg/dot_test.cc.o"
+  "CMakeFiles/wtpg_test.dir/wtpg/dot_test.cc.o.d"
+  "CMakeFiles/wtpg_test.dir/wtpg/fig3_scenario_test.cc.o"
+  "CMakeFiles/wtpg_test.dir/wtpg/fig3_scenario_test.cc.o.d"
+  "CMakeFiles/wtpg_test.dir/wtpg/wtpg_test.cc.o"
+  "CMakeFiles/wtpg_test.dir/wtpg/wtpg_test.cc.o.d"
+  "wtpg_test"
+  "wtpg_test.pdb"
+  "wtpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtpg_sim.dir/wtpg_sim.cc.o"
+  "CMakeFiles/wtpg_sim.dir/wtpg_sim.cc.o.d"
+  "wtpg_sim"
+  "wtpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtpg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

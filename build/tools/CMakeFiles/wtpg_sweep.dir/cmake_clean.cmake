@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtpg_sweep.dir/wtpg_sweep.cc.o"
+  "CMakeFiles/wtpg_sweep.dir/wtpg_sweep.cc.o.d"
+  "wtpg_sweep"
+  "wtpg_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtpg_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(wtpg_sim_help "/root/repo/build/tools/wtpg_sim" "--help")
+set_tests_properties(wtpg_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sim_json "/root/repo/build/tools/wtpg_sim" "--scheduler=low" "--rate=0.5" "--horizon-ms=150000" "--max-arrivals=10" "--json")
+set_tests_properties(wtpg_sim_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sim_dot "/root/repo/build/tools/wtpg_sim" "--scheduler=c2pl" "--rate=0.8" "--horizon-ms=150000" "--dot-out=wtpg_snapshot.dot" "--dot-at-ms=50000")
+set_tests_properties(wtpg_sim_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sim_smoke "/root/repo/build/tools/wtpg_sim" "--scheduler=low" "--rate=0.5" "--horizon-ms=200000" "--max-arrivals=20" "--verify")
+set_tests_properties(wtpg_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sim_2pl_exp2 "/root/repo/build/tools/wtpg_sim" "--scheduler=2pl" "--workload=exp2" "--rate=0.4" "--horizon-ms=200000" "--max-arrivals=15" "--verify")
+set_tests_properties(wtpg_sim_2pl_exp2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sim_custom_pattern "/root/repo/build/tools/wtpg_sim" "--scheduler=gow" "--rate=0.5" "--horizon-ms=200000" "--max-arrivals=10" "--pattern=r(A:1) -> w(B:2)" "--verify")
+set_tests_properties(wtpg_sim_custom_pattern PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sim_rejects_bad_flag "/root/repo/build/tools/wtpg_sim" "--bogus=1")
+set_tests_properties(wtpg_sim_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sweep_rates "/root/repo/build/tools/wtpg_sweep" "--mode=rates" "--rates=0.3" "--horizon-ms=150000")
+set_tests_properties(wtpg_sweep_rates PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sweep_rt_target "/root/repo/build/tools/wtpg_sweep" "--mode=rt-target" "--scheduler=nodc" "--target-s=20" "--horizon-ms=150000" "--iters=4")
+set_tests_properties(wtpg_sweep_rt_target PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wtpg_sweep_mpl "/root/repo/build/tools/wtpg_sweep" "--mode=mpl" "--scheduler=c2pl" "--rate=0.8" "--horizon-ms=150000")
+set_tests_properties(wtpg_sweep_mpl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
