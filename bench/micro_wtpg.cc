@@ -15,10 +15,11 @@ namespace {
 // A random WTPG with `n` nodes and edge probability `p`, with about half
 // the edges oriented. Orienting in ascending id order keeps the graph
 // acyclic, so the clone-free OrientNoRollback always succeeds — setup for
-// the 512-node case must not pay TryOrient's defensive copies.
-Wtpg RandomGraph(int n, double p, uint64_t seed) {
+// the 512-node case must not pay speculative machinery.
+// `reference` selects the copy-based speculation implementation.
+Wtpg RandomGraph(int n, double p, uint64_t seed, bool reference = false) {
   Rng rng(seed);
-  Wtpg g;
+  Wtpg g(reference);
   for (int i = 1; i <= n; ++i) g.AddNode(i, rng.UniformReal(0.0, 8.0));
   std::vector<std::pair<TxnId, TxnId>> to_orient;
   for (int a = 1; a <= n; ++a) {
@@ -68,9 +69,14 @@ void BM_CriticalPath(benchmark::State& state) {
 }
 BENCHMARK(BM_CriticalPath)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_EvaluateGrant(benchmark::State& state) {
+// E(q) with the production undo-journal speculation vs the reference
+// copy-per-evaluation implementation (WTPG_REFERENCE_SPECULATION). This is
+// the LOW/GOW decision hot path: the acceptance bar for the journal rewrite
+// is >= 5x fewer ns per evaluation at N = 128 (see
+// results/micro_wtpg_speculation.csv).
+void RunEvaluateGrant(benchmark::State& state, bool reference) {
   const int n = static_cast<int>(state.range(0));
-  Wtpg g = RandomGraph(n, 0.2, 3);
+  Wtpg g = RandomGraph(n, 0.2, 3, reference);
   // Pick a node with unoriented edges as the grantee.
   TxnId grantee = 1;
   std::vector<TxnId> targets;
@@ -83,7 +89,45 @@ void BM_EvaluateGrant(benchmark::State& state) {
     benchmark::DoNotOptimize(EvaluateGrant(g, grantee, targets));
   }
 }
-BENCHMARK(BM_EvaluateGrant)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_EvaluateGrant(benchmark::State& state) {
+  RunEvaluateGrant(state, /*reference=*/false);
+}
+BENCHMARK(BM_EvaluateGrant)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EvaluateGrantCopyReference(benchmark::State& state) {
+  RunEvaluateGrant(state, /*reference=*/true);
+}
+BENCHMARK(BM_EvaluateGrantCopyReference)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// LOW's actual per-decision pattern: one E(q) plus K competitor E(p)
+// evaluations against the same base graph — the case the memoized critical
+// path distances are designed for.
+void RunLowDecision(benchmark::State& state, bool reference) {
+  const int n = static_cast<int>(state.range(0));
+  Wtpg g = RandomGraph(n, 0.2, 7, reference);
+  // The first three unoriented edges play q and two competitors p1, p2.
+  std::vector<std::pair<TxnId, TxnId>> evals;
+  for (const auto& [a, b] : g.UnorientedEdges()) {
+    evals.emplace_back(a, b);
+    if (evals.size() == 3) break;
+  }
+  for (auto _ : state) {
+    for (const auto& [grantee, target] : evals) {
+      benchmark::DoNotOptimize(EvaluateGrant(g, grantee, {target}));
+    }
+  }
+}
+
+void BM_LowDecisionJournal(benchmark::State& state) {
+  RunLowDecision(state, /*reference=*/false);
+}
+BENCHMARK(BM_LowDecisionJournal)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LowDecisionCopyReference(benchmark::State& state) {
+  RunLowDecision(state, /*reference=*/true);
+}
+BENCHMARK(BM_LowDecisionCopyReference)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_WouldCycle(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -63,10 +63,13 @@ Decision GowScheduler::DecideLock(Transaction& txn, int step) {
   // workloads).
   StatusOr<ChainPlan> base = OptimizeChainOf(graph_, txn.id());
   WTPG_CHECK(base.ok()) << base.status().ToString();
-  Wtpg forced = graph_;
-  WTPG_CHECK(forced.OrientBatchNoRollback(txn.id(), targets))
+  // Speculate the forced orientations in place (journal + rollback) instead
+  // of cloning the graph — this runs on every GOW lock decision.
+  Wtpg::OrientJournal journal;
+  WTPG_CHECK(graph_.OrientBatch(txn.id(), targets, &journal))
       << "chain-form orientations cannot cycle once IsOriented was checked";
-  StatusOr<ChainPlan> with_grant = OptimizeChainOf(forced, txn.id());
+  StatusOr<ChainPlan> with_grant = OptimizeChainOf(graph_, txn.id());
+  graph_.Rollback(&journal);
   WTPG_CHECK(with_grant.ok()) << with_grant.status().ToString();
   if (with_grant->critical_path > base->critical_path + 1e-9) {
     return Decision{DecisionKind::kDelay, file};

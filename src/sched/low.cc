@@ -1,6 +1,7 @@
 #include "sched/low.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -68,13 +69,16 @@ Decision LowScheduler::DecideLock(Transaction& txn, int step) {
   std::vector<TxnId> competitors = PendingConflicters(file, txn.id(), mode);
   WTPG_CHECK_LE(static_cast<int>(competitors.size()), k_)
       << "admission control must bound |C(q)|";
-  // Phase2: E(q).
-  const double eq =
-      EvaluateGrant(graph_, txn.id(), competitors) + GrantPenalty(txn, step);
-  if (eq == kInfiniteCost) {
+  // Phase2: E(q). Test the raw evaluation for deadlock (infinity) before
+  // adding the penalty: isinf instead of a float equality, and the penalty
+  // cannot push a finite sum into the infinity test (or an infinite penalty
+  // masquerade as a deadlock).
+  const double eq_graph = EvaluateGrant(graph_, txn.id(), competitors);
+  if (std::isinf(eq_graph)) {
     ++deadlock_delays_;
     return Decision{DecisionKind::kDelay, file};
   }
+  const double eq = eq_graph + GrantPenalty(txn, step);
   // Phase3: E(q) <= E(p) for all p in C(q).
   for (TxnId u : competitors) {
     const Transaction* other = active_.at(u);

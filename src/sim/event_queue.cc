@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -8,29 +9,52 @@ namespace wtpgsched {
 
 EventQueue::EventId EventQueue::Schedule(SimTime at, Callback cb) {
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
+  heap_.push_back(Entry{at, id});
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
   callbacks_.emplace(id, std::move(cb));
   return id;
 }
 
-bool EventQueue::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool EventQueue::Cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return false;
+  ++tombstones_;
+  MaybeCompact();
+  return true;
+}
+
+void EventQueue::MaybeCompact() {
+  if (tombstones_ * 2 <= callbacks_.size()) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return callbacks_.find(e.id) ==
+                                      callbacks_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  tombstones_ = 0;
+}
 
 void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+    WTPG_CHECK_GT(tombstones_, 0u);
+    --tombstones_;
   }
 }
 
 SimTime EventQueue::NextTime() {
   SkipCancelled();
-  return heap_.empty() ? kSimTimeMax : heap_.top().time;
+  return heap_.empty() ? kSimTimeMax : heap_.front().time;
 }
 
 EventQueue::Event EventQueue::Pop() {
   SkipCancelled();
   WTPG_CHECK(!heap_.empty()) << "Pop() on empty EventQueue";
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  heap_.pop_back();
   auto it = callbacks_.find(top.id);
   Event event{top.time, top.id, std::move(it->second)};
   callbacks_.erase(it);

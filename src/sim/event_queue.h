@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -33,11 +32,18 @@ class EventQueue {
   EventId Schedule(SimTime at, Callback cb);
 
   // Cancels a scheduled event. Returns false if the event already fired or
-  // was already cancelled. Cancelled entries are lazily discarded on pop.
+  // was already cancelled. Cancelled entries leave tombstones in the heap;
+  // tombstones are discarded on pop and compacted away wholesale once they
+  // outnumber half the live entries (cancel-heavy workloads would otherwise
+  // drag a heap much larger than the live set).
   bool Cancel(EventId id);
 
   bool empty() const { return callbacks_.empty(); }
   size_t size() const { return callbacks_.size(); }
+
+  // Heap entries including tombstones (= size() + pending tombstones).
+  // Observability / test hook for the compaction policy.
+  size_t heap_entries() const { return heap_.size(); }
 
   // Timestamp of the next live event; kSimTimeMax when empty.
   SimTime NextTime();
@@ -60,9 +66,16 @@ class EventQueue {
   // Drops cancelled entries sitting at the top of the heap.
   void SkipCancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  // Rebuilds the heap without tombstones once they exceed half the live
+  // entries.
+  void MaybeCompact();
+
+  // Min-heap over (time, id) maintained with the std heap algorithms (an
+  // explicit vector so compaction can filter it in place).
+  std::vector<Entry> heap_;
   // Live callbacks keyed by id; an id absent here marks a heap tombstone.
   std::unordered_map<EventId, Callback> callbacks_;
+  size_t tombstones_ = 0;
   EventId next_id_ = 1;
 };
 

@@ -8,7 +8,9 @@ namespace wtpgsched {
 
 EventQueue::EventId Simulator::ScheduleAfter(SimTime delay,
                                              EventQueue::Callback cb) {
-  if (delay < 0) delay = 0;
+  // A negative delay is always an upstream cost-accounting bug; silently
+  // clamping it to "now" would mask it.
+  WTPG_CHECK_GE(delay, 0) << "negative delay passed to ScheduleAfter";
   return events_.Schedule(now_ + delay, std::move(cb));
 }
 

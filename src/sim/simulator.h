@@ -19,8 +19,9 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  // Schedules `cb` `delay` after the current time. Negative delays clamp to
-  // "now" (still after all events already due now, by FIFO order).
+  // Schedules `cb` `delay` after the current time. Negative delays are a
+  // programming error (CHECK-fails): they always indicate a cost-accounting
+  // bug upstream.
   EventQueue::EventId ScheduleAfter(SimTime delay, EventQueue::Callback cb);
 
   // Schedules `cb` at absolute time `at` (>= Now()).

@@ -1,8 +1,10 @@
 #include "wtpg/wtpg.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/logging.h"
 
@@ -13,7 +15,20 @@ void EraseValue(std::vector<TxnId>* list, TxnId value) {
   list->erase(std::remove(list->begin(), list->end(), value), list->end());
 }
 
+bool EnvReferenceSpeculation() {
+  static const bool value = [] {
+    const char* env = std::getenv("WTPG_REFERENCE_SPECULATION");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return value;
+}
+
 }  // namespace
+
+Wtpg::Wtpg() : reference_speculation_(EnvReferenceSpeculation()) {}
+
+Wtpg::Wtpg(bool reference_speculation)
+    : reference_speculation_(reference_speculation) {}
 
 void Wtpg::AddNode(TxnId id, double remaining) {
   WTPG_CHECK_GE(remaining, 0.0);
@@ -45,19 +60,31 @@ void Wtpg::AddConflictEdge(TxnId a, TxnId b, double weight_ab,
 void Wtpg::RemoveNode(TxnId id) {
   auto it = nodes_.find(id);
   WTPG_CHECK(it != nodes_.end()) << "RemoveNode: T" << id << " not in WTPG";
+  // Removing the node removes its out-edges, so every oriented descendant's
+  // distance can shrink. Invalidate while the edges still exist (this also
+  // drops `id`'s own memoized distance, keeping dist_valid_ consistent).
+  InvalidateDownstream(id);
   for (TxnId nb : it->second.neighbors) {
     edges_.erase(MakeKey(id, nb));
     Node& other = nodes_.at(nb);
     EraseValue(&other.neighbors, id);
     EraseValue(&other.out, id);
-    EraseValue(&other.in, id);
+    for (size_t i = other.in.size(); i-- > 0;) {
+      if (other.in[i] == id) {
+        other.in.erase(other.in.begin() + static_cast<std::ptrdiff_t>(i));
+        other.in_w.erase(other.in_w.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
   }
   nodes_.erase(it);
 }
 
 void Wtpg::SetRemaining(TxnId id, double remaining) {
   WTPG_CHECK_GE(remaining, 0.0);
-  nodes_.at(id).remaining = remaining;
+  Node& node = nodes_.at(id);
+  if (node.remaining == remaining) return;
+  InvalidateDownstream(id);
+  node.remaining = remaining;
 }
 
 double Wtpg::remaining(TxnId id) const { return nodes_.at(id).remaining; }
@@ -77,28 +104,72 @@ bool Wtpg::IsOriented(TxnId from, TxnId to) const {
   return e != nullptr && e->oriented && e->from == from;
 }
 
-void Wtpg::MarkOriented(TxnId from, TxnId to) {
+// Note: MarkOriented / UnmarkOriented do NOT invalidate memoized distances.
+// Every caller sits inside a batch (OrientBatchImpl, RollbackToMark) that
+// invalidates the whole affected downstream region once, instead of running
+// one DFS per marked edge.
+void Wtpg::MarkOriented(TxnId from, TxnId to, OrientJournal* journal) {
   Edge* e = MutableEdge(from, to);
   WTPG_CHECK(e != nullptr);
   WTPG_CHECK(!e->oriented);
   e->oriented = true;
   e->from = from;
   nodes_.at(from).out.push_back(to);
-  nodes_.at(to).in.push_back(from);
+  Node& t = nodes_.at(to);
+  t.in.push_back(from);
+  t.in_w.push_back(from == e->a ? e->weight_ab : e->weight_ba);
+  if (journal != nullptr) journal->records_.push_back({from, to});
 }
 
-std::unordered_set<TxnId> Wtpg::ReachableSet(TxnId start, bool reverse) const {
-  std::unordered_set<TxnId> visited = {start};
-  std::vector<TxnId> stack = {start};
+void Wtpg::UnmarkOriented(TxnId from, TxnId to) {
+  Edge* e = MutableEdge(from, to);
+  WTPG_CHECK(e != nullptr);
+  WTPG_CHECK(e->oriented && e->from == from)
+      << "rollback of T" << from << "->T" << to << " out of order";
+  e->oriented = false;
+  e->from = kInvalidTxn;
+  Node& f = nodes_.at(from);
+  Node& t = nodes_.at(to);
+  // MarkOriented pushed onto the backs; LIFO rollback pops the backs, which
+  // restores the vectors byte-identically. A mismatch means the caller
+  // mutated the graph between speculation and rollback — fail loudly.
+  WTPG_CHECK(!f.out.empty() && f.out.back() == to)
+      << "journal rollback interleaved with other mutations";
+  f.out.pop_back();
+  WTPG_CHECK(!t.in.empty() && t.in.back() == from)
+      << "journal rollback interleaved with other mutations";
+  t.in.pop_back();
+  t.in_w.pop_back();
+}
+
+void Wtpg::InvalidateDownstream(TxnId v) {
+  if (dist_valid_ == 0) return;
+  std::vector<const Node*> affected;
+  MarkReachable(&v, 1, /*reverse=*/false, &affected);
+  for (const Node* d : affected) ClearDist(*d);
+}
+
+uint64_t Wtpg::MarkReachable(const TxnId* starts, size_t count, bool reverse,
+                             std::vector<const Node*>* out) const {
+  const uint64_t epoch = ++epoch_;
+  if (out != nullptr) out->clear();
+  std::vector<const Node*> stack;
+  const auto visit = [&](TxnId id) {
+    const Node& node = nodes_.at(id);
+    uint64_t& mark = reverse ? node.mark_rev : node.mark_fwd;
+    if (mark == epoch) return;
+    mark = epoch;
+    stack.push_back(&node);
+    if (out != nullptr) out->push_back(&node);
+  };
+  for (size_t i = 0; i < count; ++i) visit(starts[i]);
   while (!stack.empty()) {
-    const TxnId cur = stack.back();
+    const Node* cur = stack.back();
     stack.pop_back();
-    const Node& node = nodes_.at(cur);
-    for (TxnId nb : reverse ? node.in : node.out) {
-      if (visited.insert(nb).second) stack.push_back(nb);
-    }
+    const std::vector<TxnId>& adj = reverse ? cur->in : cur->out;
+    for (TxnId nb : adj) visit(nb);
   }
-  return visited;
+  return epoch;
 }
 
 bool Wtpg::HasPath(TxnId from, TxnId to) const {
@@ -118,70 +189,118 @@ bool Wtpg::HasPath(TxnId from, TxnId to) const {
 
 bool Wtpg::WouldCycle(TxnId from, const std::vector<TxnId>& targets) const {
   if (targets.empty()) return false;
-  const std::unordered_set<TxnId> ancestors =
-      ReachableSet(from, /*reverse=*/true);
+  const uint64_t epoch = MarkReachable(&from, 1, /*reverse=*/true, nullptr);
   for (TxnId u : targets) {
     if (u == from) return true;
     const Edge* e = FindEdge(from, u);
     WTPG_CHECK(e != nullptr) << "WouldCycle: no edge T" << from << "-T" << u;
     if (e->oriented && e->from == u) return true;
-    if (ancestors.count(u)) return true;
+    if (nodes_.at(u).mark_rev == epoch) return true;  // u ~> from.
   }
   return false;
 }
 
-bool Wtpg::OrientBatchNoRollback(TxnId from,
-                                 const std::vector<TxnId>& targets) {
-  if (WouldCycle(from, targets)) return false;
+bool Wtpg::OrientBatchImpl(TxnId from, const std::vector<TxnId>& targets,
+                           OrientJournal* journal) {
+  if (targets.empty()) return true;
+  // Every new edge leaves `from`, so any cycle the batch could close must
+  // run over a pre-existing path back into `from`: one ancestor DFS checks
+  // all targets (this is WouldCycle, inlined to reuse the epoch below).
+  const uint64_t a_epoch = MarkReachable(&from, 1, /*reverse=*/true, nullptr);
+  for (TxnId u : targets) {
+    if (u == from) return false;
+    const Edge* e = FindEdge(from, u);
+    WTPG_CHECK(e != nullptr) << "OrientBatch: no edge T" << from << "-T" << u;
+    if (e->oriented) {
+      if (e->from != from) return false;  // Fixed the other way.
+      continue;
+    }
+    if (nodes_.at(u).mark_rev == a_epoch) return false;  // u ~> from.
+  }
   // Mark the new precedence edges.
   bool any_new = false;
   for (TxnId u : targets) {
     const Edge* e = FindEdge(from, u);
-    WTPG_CHECK(e != nullptr);
-    if (e->oriented) continue;  // Already from -> u (WouldCycle checked).
-    MarkOriented(from, u);
+    if (e->oriented) continue;  // Already from -> u (checked above).
+    MarkOriented(from, u, journal);
     any_new = true;
   }
   if (!any_new) return true;
-  // Forced transitive closure. Every path created by this batch runs
-  // x ~> from -> u ~> y, so the newly forced conflict edges connect an
-  // ancestor of `from` to a descendant of `from`; cascaded forcings are
-  // handled the same way via the worklist. The invariant that closure was
-  // fully applied before guarantees no older forcing is missed.
-  std::vector<TxnId> worklist = {from};
-  while (!worklist.empty()) {
-    const TxnId source = worklist.back();
-    worklist.pop_back();
-    const std::unordered_set<TxnId> ancestors =
-        ReachableSet(source, /*reverse=*/true);
-    const std::unordered_set<TxnId> descendants =
-        ReachableSet(source, /*reverse=*/false);
-    // Candidate edges are the unoriented edges incident to an ancestor.
-    std::vector<std::pair<TxnId, TxnId>> forced;
-    for (TxnId x : ancestors) {
-      for (TxnId nb : nodes_.at(x).neighbors) {
-        const Edge* e = FindEdge(x, nb);
-        if (e->oriented) continue;
-        if (descendants.count(nb)) {
-          // x ~> source ~> nb forces x -> nb; if nb also reaches x the
-          // graph already contains a cycle through this batch — fail.
-          if (ancestors.count(nb) || HasPath(nb, x)) return false;
-          forced.emplace_back(x, nb);
-        }
-      }
-    }
-    for (const auto& [x, y] : forced) {
-      const Edge* e = FindEdge(x, y);
-      if (e->oriented) {
-        // A previous forcing in this batch handled it; direction must match.
-        if (e->from != x) return false;
-        continue;
-      }
-      MarkOriented(x, y);
-      worklist.push_back(x);
+  // Forced transitive closure, in one pass. Let A = ancestors(from) and
+  // D = descendants(from) *after* the direct marks. The direct edges add no
+  // ancestor or descendant of `from` itself (a new path into `from` would
+  // be a cycle, already excluded), so A is exactly the set stamped above.
+  // Every path the batch creates runs x ~> from ~> y; hence (a) a conflict
+  // edge is newly forced iff one endpoint is in A and the other in D (the
+  // connecting path x ~> from ~> y always exists), and (b) marking a forced
+  // edge x->y creates no reachability beyond x ~> from ~> y itself, so
+  // forcings cannot cascade outside A x D — one scan over the unoriented
+  // edges is the whole closure. A forced edge cannot conflict either: a
+  // cycle would need its head in A and tail in D simultaneously, i.e. a
+  // node in A ∩ D \ {from}, which is a pre-existing cycle through `from`.
+  std::vector<const Node*> descendants;
+  const uint64_t d_epoch =
+      MarkReachable(&from, 1, /*reverse=*/false, &descendants);
+  // Every node whose longest path can change is downstream of `from` (the
+  // head of every new edge is in D): invalidate the region once.
+  if (dist_valid_ > 0) {
+    for (const Node* d : descendants) ClearDist(*d);
+  }
+  for (auto& [key, edge] : edges_) {
+    (void)key;
+    if (edge.oriented) continue;
+    const Node& na = nodes_.at(edge.a);
+    const Node& nb = nodes_.at(edge.b);
+    if (na.mark_rev == a_epoch && nb.mark_fwd == d_epoch) {
+      MarkOriented(edge.a, edge.b, journal);
+    } else if (nb.mark_rev == a_epoch && na.mark_fwd == d_epoch) {
+      MarkOriented(edge.b, edge.a, journal);
     }
   }
   return true;
+}
+
+bool Wtpg::OrientBatch(TxnId from, const std::vector<TxnId>& targets,
+                       OrientJournal* journal) {
+  WTPG_CHECK(journal != nullptr);
+  const size_t mark = journal->records_.size();
+  if (OrientBatchImpl(from, targets, journal)) return true;
+  RollbackToMark(journal, mark);
+  return false;
+}
+
+void Wtpg::RollbackToMark(OrientJournal* journal, size_t mark) {
+  auto& records = journal->records_;
+  if (records.size() > mark && dist_valid_ > 0) {
+    // A memoized distance can depend on a speculative edge x->y only if the
+    // node is downstream of y. One multi-source DFS from all the heads —
+    // run while the edges are still present, so it covers the downstream
+    // set of every intermediate rollback state — invalidates the region
+    // once instead of once per unmark.
+    std::vector<TxnId> heads;
+    heads.reserve(records.size() - mark);
+    for (size_t i = mark; i < records.size(); ++i) {
+      heads.push_back(records[i].to);
+    }
+    std::vector<const Node*> affected;
+    MarkReachable(heads.data(), heads.size(), /*reverse=*/false, &affected);
+    for (const Node* d : affected) ClearDist(*d);
+  }
+  while (records.size() > mark) {
+    const OrientJournal::Record r = records.back();
+    records.pop_back();
+    UnmarkOriented(r.from, r.to);
+  }
+}
+
+void Wtpg::Rollback(OrientJournal* journal) {
+  WTPG_CHECK(journal != nullptr);
+  RollbackToMark(journal, 0);
+}
+
+bool Wtpg::OrientBatchNoRollback(TxnId from,
+                                 const std::vector<TxnId>& targets) {
+  return OrientBatchImpl(from, targets, /*journal=*/nullptr);
 }
 
 bool Wtpg::TryOrient(TxnId from, TxnId to) {
@@ -189,26 +308,65 @@ bool Wtpg::TryOrient(TxnId from, TxnId to) {
   WTPG_CHECK(e != nullptr) << "TryOrient on nonexistent edge T" << from
                            << "->T" << to;
   if (e->oriented) return e->from == from;
-  if (WouldCycle(from, {to})) return false;
-  // Work on a copy so a failed closure leaves *this untouched.
-  Wtpg copy = *this;
-  if (!copy.OrientBatchNoRollback(from, {to})) return false;
-  *this = std::move(copy);
-  return true;
+  if (reference_speculation_) {
+    // Historical implementation: work on a copy so a failed closure leaves
+    // *this untouched.
+    if (WouldCycle(from, {to})) return false;
+    Wtpg copy = *this;
+    if (!copy.OrientBatchNoRollback(from, {to})) return false;
+    *this = std::move(copy);
+    return true;
+  }
+  OrientJournal journal;
+  return OrientBatch(from, {to}, &journal);  // Keep on success.
 }
 
-bool Wtpg::CanOrient(TxnId from, TxnId to) const {
+bool Wtpg::CanOrient(TxnId from, TxnId to) {
   const Edge* e = FindEdge(from, to);
   if (e == nullptr) return false;
   if (e->oriented) return e->from == from;
-  Wtpg copy = *this;
-  return copy.OrientBatchNoRollback(from, {to});
+  if (reference_speculation_) {
+    Wtpg copy = *this;
+    return copy.OrientBatchNoRollback(from, {to});
+  }
+  OrientJournal journal;
+  const bool ok = OrientBatch(from, {to}, &journal);
+  Rollback(&journal);
+  return ok;
 }
 
 double Wtpg::CriticalPath() const {
   if (nodes_.empty()) return 0.0;
-  // Longest-path DP over the oriented sub-DAG, memoized DFS:
-  //   dist(v) = max(remaining(v), max over oriented u->v of dist(u) + w(u,v))
+  if (reference_speculation_) return CriticalPathUncached();
+  double critical = 0.0;
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    critical = std::max(critical, EvalDist(node));
+  }
+  return critical;
+}
+
+// Longest-path DP over the oriented sub-DAG, memoized on the nodes:
+//   dist(v) = max(remaining(v), max over oriented u->v of dist(u) + w(u,v))
+// dist/dist_state only ever hold final values; the transient kDistVisiting
+// state guards against cycles (fail loudly, not forever). The in-weights
+// live in the parallel in_w list, so the DP touches no edge map.
+double Wtpg::EvalDist(const Node& node) const {
+  if (node.dist_state == kDistValid) return node.dist;
+  WTPG_CHECK(node.dist_state != kDistVisiting) << "cycle in oriented WTPG";
+  node.dist_state = kDistVisiting;
+  double best = node.remaining;
+  for (size_t i = 0; i < node.in.size(); ++i) {
+    best = std::max(best, EvalDist(nodes_.at(node.in[i])) + node.in_w[i]);
+  }
+  node.dist = best;
+  node.dist_state = kDistValid;
+  ++dist_valid_;
+  return best;
+}
+
+double Wtpg::CriticalPathUncached() const {
+  if (nodes_.empty()) return 0.0;
   std::unordered_map<TxnId, double> dist;
   std::function<double(TxnId)> eval = [&](TxnId v) -> double {
     auto it = dist.find(v);
@@ -243,6 +401,7 @@ std::vector<TxnId> Wtpg::Nodes() const {
     (void)node;
     result.push_back(id);
   }
+  std::sort(result.begin(), result.end());  // nodes_ is hashed, not ordered.
   return result;
 }
 
@@ -250,6 +409,18 @@ std::vector<TxnId> Wtpg::Neighbors(TxnId id) const {
   auto it = nodes_.find(id);
   WTPG_CHECK(it != nodes_.end());
   return it->second.neighbors;
+}
+
+const std::vector<TxnId>& Wtpg::OutNeighbors(TxnId id) const {
+  auto it = nodes_.find(id);
+  WTPG_CHECK(it != nodes_.end());
+  return it->second.out;
+}
+
+const std::vector<TxnId>& Wtpg::InNeighbors(TxnId id) const {
+  auto it = nodes_.find(id);
+  WTPG_CHECK(it != nodes_.end());
+  return it->second.in;
 }
 
 std::vector<std::pair<TxnId, TxnId>> Wtpg::UnorientedEdges() const {
@@ -268,13 +439,19 @@ bool Wtpg::CheckInvariants() const {
       return false;
     }
   }
-  // Adjacency lists consistent with edge states.
+  // Adjacency lists consistent with edge states; in_w parallel to in and
+  // carrying the oriented direction's weight.
   for (const auto& [id, node] : nodes_) {
     for (TxnId nb : node.out) {
       if (!IsOriented(id, nb)) return false;
     }
-    for (TxnId nb : node.in) {
+    if (node.in_w.size() != node.in.size()) return false;
+    for (size_t i = 0; i < node.in.size(); ++i) {
+      const TxnId nb = node.in[i];
       if (!IsOriented(nb, id)) return false;
+      const Edge* e = FindEdge(nb, id);
+      const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
+      if (node.in_w[i] != w) return false;
     }
     size_t oriented_count = 0;
     for (TxnId nb : node.neighbors) {
@@ -297,14 +474,47 @@ bool Wtpg::CheckInvariants() const {
     if (edge.oriented) continue;
     if (HasPath(edge.a, edge.b) || HasPath(edge.b, edge.a)) return false;
   }
+  // Every memoized distance must match a fresh DP (stale memo entries are
+  // exactly the bug class the journal can cause), no node may be stuck in
+  // the transient visiting state, and the valid count must agree.
+  std::unordered_map<TxnId, double> fresh;
+  std::function<double(TxnId)> eval = [&](TxnId v) -> double {
+    auto it = fresh.find(v);
+    if (it != fresh.end()) return it->second;
+    const Node& node = nodes_.at(v);
+    double best = node.remaining;
+    for (TxnId nb : node.in) {
+      const Edge* e = FindEdge(nb, v);
+      const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
+      best = std::max(best, eval(nb) + w);
+    }
+    fresh.emplace(v, best);
+    return best;
+  };
+  size_t valid = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (node.dist_state == kDistVisiting) return false;
+    if (node.dist_state == kDistValid) {
+      ++valid;
+      if (eval(id) != node.dist) return false;
+    }
+  }
+  if (valid != dist_valid_) return false;
   return true;
 }
 
-double EvaluateGrant(const Wtpg& g, TxnId grantee,
+double EvaluateGrant(Wtpg& g, TxnId grantee,
                      const std::vector<TxnId>& orient_to) {
-  Wtpg copy = g;
-  if (!copy.OrientBatchNoRollback(grantee, orient_to)) return kInfiniteCost;
-  return copy.CriticalPath();
+  if (g.reference_speculation()) {
+    Wtpg copy = g;
+    if (!copy.OrientBatchNoRollback(grantee, orient_to)) return kInfiniteCost;
+    return copy.CriticalPath();
+  }
+  Wtpg::OrientJournal journal;
+  if (!g.OrientBatch(grantee, orient_to, &journal)) return kInfiniteCost;
+  const double critical = g.CriticalPath();
+  g.Rollback(&journal);
+  return critical;
 }
 
 }  // namespace wtpgsched

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,10 +40,28 @@ inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
 // deadlock). Orientation operations apply the closure and reject
 // orientations that would create a cycle.
 //
-// The graph is copyable: LOW's E(q) evaluates hypothetical grants on clones.
+// Hypothetical evaluation (LOW's E(q), GOW's consistency test) speculates
+// *in place*: OrientBatch records every edge it marks into an OrientJournal
+// and Rollback undoes them in reverse order, restoring the graph exactly —
+// including adjacency-vector order — so no decision ever copies the graph.
+// Constructing with reference_speculation = true (or setting the
+// WTPG_REFERENCE_SPECULATION environment variable) switches TryOrient /
+// CanOrient / EvaluateGrant back to the historical clone-and-discard
+// implementation, kept alive for differential testing.
+//
+// CriticalPath() memoizes the per-node longest-path distances directly on
+// the nodes; mutations invalidate only the nodes whose distance can have
+// changed (the mutated node's oriented descendants), so LOW's K+1
+// evaluations per lock decision share most of the DP instead of re-running
+// it from scratch. Reachability queries stamp epoch marks on the nodes
+// instead of building per-call visited sets, and the DP reads precedence
+// weights from a parallel in-weight list — the hot path performs no
+// per-edge map lookups and no per-call allocations beyond a DFS stack.
+// The marks, distances and epoch counter are mutable scratch: Wtpg is
+// single-threaded by design (the simulator is sequential).
+//
 // Saturated C2PL runs grow this graph to hundreds of nodes, so the
-// reachability paths keep dedicated oriented adjacency lists (no per-edge
-// map lookups in DFS).
+// reachability paths keep dedicated oriented adjacency lists.
 class Wtpg {
  public:
   struct Edge {
@@ -55,10 +73,34 @@ class Wtpg {
     TxnId from = kInvalidTxn;  // Valid when oriented: a or b.
   };
 
-  Wtpg() = default;
-  // Copyable by design (hypothetical evaluation).
+  // Record of the orientations applied by one (or more) OrientBatch calls,
+  // in application order. Opaque except for size inspection; pass it back
+  // to Rollback to undo. The contract is strictly LIFO: between OrientBatch
+  // and Rollback no other mutation of the graph may occur (rollback CHECKs
+  // that each adjacency push is still the most recent one).
+  class OrientJournal {
+   public:
+    bool empty() const { return records_.empty(); }
+    size_t size() const { return records_.size(); }
+
+   private:
+    friend class Wtpg;
+    struct Record {
+      TxnId from;
+      TxnId to;
+    };
+    std::vector<Record> records_;
+  };
+
+  // The default mode comes from the WTPG_REFERENCE_SPECULATION environment
+  // variable (unset / "0" => journal speculation).
+  Wtpg();
+  explicit Wtpg(bool reference_speculation);
+  // Copyable by design (the reference mode and test harnesses clone).
   Wtpg(const Wtpg&) = default;
   Wtpg& operator=(const Wtpg&) = default;
+
+  bool reference_speculation() const { return reference_speculation_; }
 
   // --- Structure ---
 
@@ -97,14 +139,28 @@ class Wtpg {
   // is already from -> to is a no-op returning true.
   bool TryOrient(TxnId from, TxnId to);
 
-  // Non-mutating: would TryOrient(from, to) succeed?
-  bool CanOrient(TxnId from, TxnId to) const;
+  // Would TryOrient(from, to) succeed? Logically const: speculates in place
+  // and rolls back before returning (reference mode works on a clone).
+  bool CanOrient(TxnId from, TxnId to);
+
+  // Orients from -> to for every target, with closure, recording every edge
+  // marked into *journal (appended). On failure (cycle) the orientations
+  // recorded by *this call* are rolled back and the graph is unchanged.
+  // On success the caller may keep the orientations, or undo the whole
+  // journal with Rollback. Targets already oriented from -> to are fine; a
+  // target oriented to -> from fails.
+  bool OrientBatch(TxnId from, const std::vector<TxnId>& targets,
+                   OrientJournal* journal);
+
+  // Undoes every orientation in `journal` in reverse order and clears it.
+  // Must be the next mutation after the OrientBatch calls that filled it.
+  void Rollback(OrientJournal* journal);
 
   // Orients from -> to for every target, with closure, without rollback: on
   // failure (cycle) the graph may be left partially oriented. Only for
-  // throwaway copies or when failure is a fatal bug — it skips the
-  // defensive clone, which matters on large graphs. Targets already
-  // oriented from -> to are fine; a target oriented to -> from fails.
+  // committed (non-speculative) orientation or when failure is a fatal bug.
+  // Targets already oriented from -> to are fine; a target oriented
+  // to -> from fails.
   bool OrientBatchNoRollback(TxnId from, const std::vector<TxnId>& targets);
 
   bool OrientNoRollback(TxnId from, TxnId to) {
@@ -125,6 +181,8 @@ class Wtpg {
   // Longest T0 -> Tf path over oriented edges:
   //   max over paths (v1, ..., vk): remaining(v1) + sum w(vi -> vi+1).
   // Conflict (unoriented) edges are ignored. Returns 0 for an empty graph.
+  // Memoized: repeated queries after localized mutations only recompute the
+  // distances of nodes downstream of the mutation.
   double CriticalPath() const;
 
   // All nodes (ascending id).
@@ -134,20 +192,37 @@ class Wtpg {
   // undirected "conflicts-with" adjacency used by the chain-form test.
   std::vector<TxnId> Neighbors(TxnId id) const;
 
+  // Oriented adjacency of `id` in orientation order (id -> other and
+  // other -> id respectively). Exposed for tests and state diffing.
+  const std::vector<TxnId>& OutNeighbors(TxnId id) const;
+  const std::vector<TxnId>& InNeighbors(TxnId id) const;
+
   // Unoriented conflict edges only, as (a, b) pairs with a < b.
   std::vector<std::pair<TxnId, TxnId>> UnorientedEdges() const;
 
   // Verifies internal invariants (edges reference live nodes; adjacency
-  // lists consistent; oriented subgraph acyclic; closure fully applied).
-  // For tests.
+  // lists consistent; oriented subgraph acyclic; closure fully applied;
+  // memoized distances match a fresh recomputation). For tests.
   bool CheckInvariants() const;
 
  private:
+  // Memoized-distance states. kDistVisiting only exists transiently inside
+  // CriticalPath(); it doubles as the cycle guard.
+  enum : uint8_t { kDistInvalid = 0, kDistValid = 1, kDistVisiting = 2 };
+
   struct Node {
     double remaining = 0.0;
     std::vector<TxnId> neighbors;  // Any edge.
     std::vector<TxnId> out;        // Oriented this -> other.
     std::vector<TxnId> in;         // Oriented other -> this.
+    std::vector<double> in_w;      // Parallel to `in`: w(other -> this).
+    // Scratch for the epoch-stamped reachability DFS (forward / reverse
+    // slots so an ancestor set and a descendant set can coexist) and the
+    // memoized longest-path distance. Mutable: queries are logically const.
+    mutable uint64_t mark_fwd = 0;
+    mutable uint64_t mark_rev = 0;
+    mutable double dist = 0.0;
+    mutable uint8_t dist_state = kDistInvalid;
   };
   using EdgeKey = std::pair<TxnId, TxnId>;  // Normalized (min, max).
 
@@ -157,23 +232,66 @@ class Wtpg {
 
   Edge* MutableEdge(TxnId a, TxnId b);
 
-  // Marks the edge oriented and updates adjacency. The edge must be
-  // unoriented.
-  void MarkOriented(TxnId from, TxnId to);
+  // Marks the edge oriented, updates adjacency, invalidates memoized
+  // distances downstream of `to`, and (if non-null) records the mark into
+  // *journal. The edge must be unoriented.
+  void MarkOriented(TxnId from, TxnId to, OrientJournal* journal);
 
-  // Nodes reachable from `start` over oriented edges (descendants), or
-  // reaching `start` when `reverse` (ancestors). Includes `start`.
-  std::unordered_set<TxnId> ReachableSet(TxnId start, bool reverse) const;
+  // Exact inverse of MarkOriented. CHECKs that the adjacency pushes are
+  // still the most recent ones (LIFO rollback contract), which also makes
+  // the restoration byte-identical (vector order preserved).
+  void UnmarkOriented(TxnId from, TxnId to);
 
-  std::map<TxnId, Node> nodes_;
+  // Shared implementation of the batch orientation + forced closure. On
+  // failure the graph is left partially oriented; all marks were appended
+  // to *journal (when non-null) so the caller can undo them.
+  bool OrientBatchImpl(TxnId from, const std::vector<TxnId>& targets,
+                       OrientJournal* journal);
+
+  // Undoes journal records down to (excluding) index `mark`, in reverse.
+  void RollbackToMark(OrientJournal* journal, size_t mark);
+
+  // Stamps a fresh epoch on every node reachable from the `count` start
+  // nodes over oriented edges (descendants; ancestors when `reverse`),
+  // including the starts, and returns that epoch. Membership is
+  // node.mark_fwd == epoch (mark_rev when `reverse`). When `out` is
+  // non-null it is cleared and filled with the visited nodes.
+  uint64_t MarkReachable(const TxnId* starts, size_t count, bool reverse,
+                         std::vector<const Node*>* out) const;
+
+  // Invalidates the memoized distance of every oriented descendant of `v`
+  // (including `v`). Call while `v` and the relevant edges still exist.
+  void InvalidateDownstream(TxnId v);
+
+  // Drops one node's memoized distance, keeping dist_valid_ in step.
+  void ClearDist(const Node& node) const {
+    if (node.dist_state == kDistValid) --dist_valid_;
+    node.dist_state = kDistInvalid;
+  }
+
+  // The memoized longest-path DP over the in-edges of `node`.
+  double EvalDist(const Node& node) const;
+
+  // The uncached longest-path DP (historical implementation), used by the
+  // reference mode and by CheckInvariants to validate the memo.
+  double CriticalPathUncached() const;
+
+  std::unordered_map<TxnId, Node> nodes_;
   std::map<EdgeKey, Edge> edges_;
+  bool reference_speculation_ = false;
+  // Epoch source for MarkReachable and count of nodes whose memoized
+  // distance is currently valid (fast empty test for invalidation).
+  mutable uint64_t epoch_ = 0;
+  mutable size_t dist_valid_ = 0;
 };
 
 // Hypothetical grant evaluation used by LOW's E(q) (paper Fig. 5) and by
-// tests: clones `g`, orients grantee -> u for every u in `orient_to` (with
-// closure), and returns the resulting critical path — or kInfiniteCost if
-// any orientation would deadlock (cycle).
-double EvaluateGrant(const Wtpg& g, TxnId grantee,
+// tests: orients grantee -> u for every u in `orient_to` (with closure) and
+// returns the resulting critical path — or kInfiniteCost if any orientation
+// would deadlock (cycle). Logically const: speculates on `g` via the
+// orientation journal and rolls back before returning, so `g` is unchanged
+// (in reference mode it clones instead).
+double EvaluateGrant(Wtpg& g, TxnId grantee,
                      const std::vector<TxnId>& orient_to);
 
 }  // namespace wtpgsched

@@ -78,5 +78,52 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(EventQueueTest, CompactsWhenTombstonesOutnumberHalfTheLiveEntries) {
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(q.Schedule(i, [] {}));
+  EXPECT_EQ(q.heap_entries(), 100u);
+  // Cancel from the back so no tombstone reaches the top of the heap (lazy
+  // skipping never triggers): the heap would grow tombstone-bound without
+  // compaction. Tombstones may exceed half the live count only transiently.
+  for (int i = 99; i >= 1; --i) {
+    q.Cancel(ids[static_cast<size_t>(i)]);
+    EXPECT_LE(q.heap_entries() - q.size(), q.size() / 2 + 1)
+        << "tombstones must be compacted away";
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.heap_entries(), 1u);
+  // The surviving event is intact.
+  EXPECT_EQ(q.Pop().time, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CompactionPreservesOrderAndFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventQueue::EventId> doomed;
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(5, [&fired, i] { fired.push_back(i); });  // FIFO batch.
+    doomed.push_back(q.Schedule(50 + i, [] {}));
+  }
+  q.Schedule(1, [&fired] { fired.push_back(-1); });
+  for (EventQueue::EventId id : doomed) q.Cancel(id);  // Forces compaction.
+  while (!q.empty()) q.Pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueTest, CancelAllThenReuse) {
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(q.Schedule(i, [] {}));
+  for (EventQueue::EventId id : ids) q.Cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.heap_entries(), 0u);  // Fully compacted.
+  bool fired = false;
+  q.Schedule(3, [&] { fired = true; });
+  q.Pop().callback();
+  EXPECT_TRUE(fired);
+}
+
 }  // namespace
 }  // namespace wtpgsched

@@ -56,15 +56,12 @@ TEST(SimulatorTest, EventsScheduledDuringRun) {
   EXPECT_EQ(seen, (std::vector<SimTime>{10, 15}));
 }
 
-TEST(SimulatorTest, NegativeDelayClampsToNow) {
+TEST(SimulatorDeathTest, NegativeDelayChecks) {
+  // A negative delay is a cost-accounting bug upstream; it must fail
+  // loudly instead of being clamped to "now".
   Simulator sim;
-  bool fired = false;
-  sim.ScheduleAfter(10, [&] {
-    sim.ScheduleAfter(-5, [&] { fired = true; });
-  });
-  sim.RunToCompletion();
-  EXPECT_TRUE(fired);
-  EXPECT_EQ(sim.Now(), 10);
+  EXPECT_DEATH(sim.ScheduleAfter(-5, [] {}), "negative delay");
+  EXPECT_EQ(sim.Now(), 0);
 }
 
 TEST(SimulatorTest, CancelScheduledEvent) {
