@@ -1,0 +1,60 @@
+// Microbenchmarks of the trace recorder (google-benchmark): the cost of
+// one Record() call with tracing disabled (the price every instrumentation
+// site pays on every run) and enabled (ring-buffer steady state), plus the
+// end-to-end overhead of a traced LOW run. DESIGN.md "Observability"
+// quotes these numbers; the acceptance bar is <= 2% run-time overhead with
+// tracing disabled.
+
+#include <benchmark/benchmark.h>
+
+#include "machine/machine.h"
+#include "trace/trace_recorder.h"
+
+namespace wtpgsched {
+namespace {
+
+void RunRecord(benchmark::State& state, bool enabled) {
+  TraceRecorder rec;
+  if (enabled) rec.Enable(1 << 16);
+  TraceEvent e{.time = 0,
+               .type = TraceEventType::kLockRequest,
+               .txn = 7,
+               .file = 3,
+               .step = 1};
+  for (auto _ : state) {
+    ++e.time;
+    rec.Record(e);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+
+void BM_RecordDisabled(benchmark::State& state) {
+  RunRecord(state, /*enabled=*/false);
+}
+BENCHMARK(BM_RecordDisabled);
+
+void BM_RecordEnabled(benchmark::State& state) {
+  RunRecord(state, /*enabled=*/true);
+}
+BENCHMARK(BM_RecordEnabled);
+
+// A short contended LOW run; Arg(0) = tracing off, Arg(1) = on. The delta
+// between the two is the whole-machine instrumentation overhead.
+void BM_LowRun(benchmark::State& state) {
+  for (auto _ : state) {
+    SimConfig c;
+    c.scheduler = SchedulerKind::kLow;
+    c.num_files = 16;
+    c.arrival_rate_tps = 0.8;
+    c.horizon_ms = 300'000;
+    c.seed = 5;
+    c.trace_enabled = state.range(0) != 0;
+    c.trace_capacity = 1 << 16;
+    Machine m(c, Pattern::Experiment1(16));
+    benchmark::DoNotOptimize(m.Run());
+  }
+}
+BENCHMARK(BM_LowRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wtpgsched

@@ -45,8 +45,7 @@ Status TablePrinter::WriteCsv(const std::string& path) const {
   if (!status.ok()) return status;
   writer.WriteHeader(headers_);
   for (const auto& row : rows_) writer.WriteRow(row);
-  writer.Close();
-  return Status::Ok();
+  return writer.Close();
 }
 
 std::string FmtTps(double tps) { return FormatDouble(tps, 2); }

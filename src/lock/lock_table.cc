@@ -23,6 +23,13 @@ void LockTable::Grant(FileId file, TxnId txn, LockMode mode) {
 }
 
 void LockTable::ForceGrant(FileId file, TxnId txn, LockMode mode) {
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Record({.time = trace_->now(),
+                    .type = TraceEventType::kLockGrant,
+                    .txn = txn,
+                    .file = file,
+                    .mode = mode});
+  }
   auto& holders = locks_[file];
   for (Holder& h : holders) {
     if (h.txn == txn) {
@@ -41,7 +48,15 @@ std::vector<FileId> LockTable::ReleaseAll(TxnId txn) {
     holders.erase(std::remove_if(holders.begin(), holders.end(),
                                  [txn](const Holder& h) { return h.txn == txn; }),
                   holders.end());
-    if (holders.size() != before) released.push_back(it->first);
+    if (holders.size() != before) {
+      released.push_back(it->first);
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Record({.time = trace_->now(),
+                        .type = TraceEventType::kLockRelease,
+                        .txn = txn,
+                        .file = it->first});
+      }
+    }
     if (holders.empty()) {
       it = locks_.erase(it);
     } else {

@@ -8,6 +8,7 @@
 
 #include "model/lock_mode.h"
 #include "model/types.h"
+#include "trace/trace_recorder.h"
 
 namespace wtpgsched {
 
@@ -58,9 +59,15 @@ class LockTable {
   // Number of locks held by `txn`.
   size_t NumHeldBy(TxnId txn) const;
 
+  // When set (and enabled), grants and releases emit kLockGrant /
+  // kLockRelease trace events — the ground truth of lock-state changes,
+  // independent of decision-level events the machine records.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   // Holder lists are tiny (bounded by active transactions); linear scans.
   std::unordered_map<FileId, std::vector<Holder>> locks_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace wtpgsched

@@ -66,6 +66,10 @@ Status SimConfig::Validate() const {
   if (restart_delay_ms < 0.0) {
     return Status::InvalidArgument("restart_delay_ms must be >= 0");
   }
+  if (trace_enabled && trace_capacity == 0) {
+    return Status::InvalidArgument(
+        "trace_capacity must be > 0 when tracing is enabled");
+  }
   return Status::Ok();
 }
 

@@ -85,6 +85,12 @@ struct SimConfig {
   // When > 0, sample a system-state timeline every this many milliseconds
   // (Machine::timeline()).
   double timeline_sample_ms = 0.0;
+  // Structured event tracing (src/trace/): when true, the machine records
+  // typed lifecycle + scheduler-decision events into a ring buffer of
+  // trace_capacity events (most recent kept; see Machine::trace()). Costs
+  // nothing when false — every instrumentation site is behind one branch.
+  bool trace_enabled = false;
+  uint64_t trace_capacity = 1 << 20;
   uint64_t seed = 1;
 
   Status Validate() const;

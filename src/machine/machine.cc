@@ -48,6 +48,13 @@ Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
     low_lb->set_load_probe(
         [this](FileId file) { return BacklogObjectsForFile(file); });
   }
+  if (config.trace_enabled) {
+    trace_.Enable(static_cast<size_t>(config.trace_capacity));
+  }
+  // Wired even when disabled: Record() is a no-op then, and the scheduler
+  // and lock table stay oblivious to whether tracing is on.
+  scheduler_->set_trace(&trace_);
+  scheduler_->lock_table().set_trace(&trace_);
 }
 
 double Machine::BacklogObjectsForFile(FileId file) const {
@@ -79,6 +86,8 @@ RunStats Machine::Run() {
     max_util = std::max(max_util, dpn->Utilization());
   }
   mean_util /= static_cast<double>(dpns_.size());
+  scheduler_->ExportCounters(&stats_.counters());
+  if (trace_.enabled()) trace_.ExportCounters(&stats_.counters());
   return stats_.Finalize(cn_.Utilization(), mean_util, max_util,
                          in_flight());
 }
@@ -98,6 +107,11 @@ void Machine::OnArrival() {
   std::unique_ptr<Transaction> txn = workload_.NextTransaction();
   const TxnId id = txn->id();
   txn->arrival_time = sim_.Now();
+  trace_.set_now(sim_.Now());
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kArrive,
+                 .txn = id,
+                 .arg = static_cast<int32_t>(txn->num_steps())});
   txns_.emplace(id, std::move(txn));
   stats_.RecordArrival();
   RequestStartup(id, /*charge_sot=*/true);
@@ -121,20 +135,33 @@ void Machine::OnStartupDecision(TxnId id) {
   pending_decision_.erase(id);
   Transaction& txn = GetTxn(id);
   scheduler_->OnClock(sim_.Now());
+  trace_.set_now(sim_.Now());
   const Decision decision = scheduler_->OnStartup(txn);
   switch (decision.kind) {
     case DecisionKind::kGrant:
       txn.set_state(Transaction::State::kActive);
       txn.admit_time = sim_.Now();
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kAdmit,
+                     .txn = id,
+                     .incarnation = txn.restarts});
       BeginStep(id);
       break;
     case DecisionKind::kBlock:
     case DecisionKind::kDelay:
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kAdmissionDelayed,
+                     .txn = id,
+                     .incarnation = txn.restarts});
       ParkAdmission(id);
       break;
     case DecisionKind::kReject:
       txn.start_rejections += 1;
       stats_.RecordStartRejection();
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kAdmissionRejected,
+                     .txn = id,
+                     .incarnation = txn.restarts});
       ParkAdmission(id);
       break;
     case DecisionKind::kAbortRestart:
@@ -146,7 +173,16 @@ void Machine::OnStartupDecision(TxnId id) {
 void Machine::RequestLock(TxnId id) {
   if (!pending_decision_.insert(id).second) return;
   Transaction& txn = GetTxn(id);
-  const SimTime cost = scheduler_->LockDecisionCost(txn, txn.current_step());
+  const int step = txn.current_step();
+  trace_.set_now(sim_.Now());
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kLockRequest,
+                 .txn = id,
+                 .incarnation = txn.restarts,
+                 .file = txn.step(step).file,
+                 .step = step,
+                 .mode = txn.RequestModeAt(step)});
+  const SimTime cost = scheduler_->LockDecisionCost(txn, step);
   cn_.SubmitWork(cost, [this, id] { OnLockDecision(id); });
 }
 
@@ -154,6 +190,7 @@ void Machine::OnLockDecision(TxnId id) {
   pending_decision_.erase(id);
   Transaction& txn = GetTxn(id);
   scheduler_->OnClock(sim_.Now());
+  trace_.set_now(sim_.Now());
   const int step = txn.current_step();
   const Decision decision = scheduler_->OnLockRequest(txn, step);
   switch (decision.kind) {
@@ -166,19 +203,44 @@ void Machine::OnLockDecision(TxnId id) {
     case DecisionKind::kBlock:
       txn.blocked_count += 1;
       stats_.RecordBlocked();
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kLockBlocked,
+                     .txn = id,
+                     .incarnation = txn.restarts,
+                     .file = decision.file,
+                     .step = step});
       ParkBlocked(id, decision.file);
       break;
     case DecisionKind::kDelay:
       txn.delayed_count += 1;
       stats_.RecordDelayed();
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kLockDelayed,
+                     .txn = id,
+                     .incarnation = txn.restarts,
+                     .file = txn.step(step).file,
+                     .step = step});
       ParkDelayed(id);
       break;
     case DecisionKind::kAbortRestart: {
       // Deadlock victim (2PL): all work of this incarnation is wasted; the
       // transaction restarts from scratch after the restart delay.
       stats_.RecordRestart();
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kAbort,
+                     .txn = id,
+                     .incarnation = txn.restarts,
+                     .file = txn.step(step).file,
+                     .step = step,
+                     .arg = static_cast<int32_t>(
+                         AbortReason::kAbortDeadlockVictim)});
       const std::vector<FileId> released = scheduler_->OnAbort(txn);
       txn.ResetForRestart();
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kRestartScheduled,
+                     .txn = id,
+                     .incarnation = txn.restarts,
+                     .value = config_.restart_delay_ms / 1000.0});
       sim_.ScheduleAfter(MsToTime(config_.restart_delay_ms), [this, id] {
         RequestStartup(id, /*charge_sot=*/true);
       });
@@ -215,18 +277,34 @@ void Machine::BeginStep(TxnId id) {
 void Machine::DispatchStep(TxnId id) {
   Transaction& txn = GetTxn(id);
   txn.set_state(Transaction::State::kExecuting);
+  trace_.set_now(sim_.Now());
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kStepDispatch,
+                 .txn = id,
+                 .incarnation = txn.restarts,
+                 .file = txn.step(txn.current_step()).file,
+                 .step = txn.current_step()});
   // CN sends the transaction to the file's home node.
   cn_.SubmitMessage([this, id] { StartCohorts(id); });
 }
 
 void Machine::StartCohorts(TxnId id) {
   Transaction& txn = GetTxn(id);
-  const StepSpec& spec = txn.step(txn.current_step());
+  const int step = txn.current_step();
+  const StepSpec& spec = txn.step(step);
+  trace_.set_now(sim_.Now());
   // Log the data access. Reads take effect as the scan runs. Writes do too
   // under locking schedulers (in-place, protected by the X lock); under OPT
   // they go to private copies and are logged at commit instead.
   if (spec.access == LockMode::kShared || !scheduler_->DefersWrites()) {
     log_.RecordAccess(id, txn.restarts, spec.file, spec.access, sim_.Now());
+    trace_.Record({.time = sim_.Now(),
+                   .type = TraceEventType::kDataAccess,
+                   .txn = id,
+                   .incarnation = txn.restarts,
+                   .file = spec.file,
+                   .step = step,
+                   .mode = spec.access});
   }
   const int dd = placement_.dd();
   const double cohort_objects = spec.actual_cost / dd;
@@ -234,13 +312,32 @@ void Machine::StartCohorts(TxnId id) {
       config_.quantum_objects > 0.0 ? config_.quantum_objects : 1.0 / dd;
   cohorts_remaining_[id] = dd;
   for (int c = 0; c < dd; ++c) {
-    Dpn& dpn = *dpns_[static_cast<size_t>(placement_.NodeFor(spec.file, c))];
+    const NodeId node = placement_.NodeFor(spec.file, c);
+    Dpn& dpn = *dpns_[static_cast<size_t>(node)];
+    trace_.Record({.time = sim_.Now(),
+                   .type = TraceEventType::kScanStart,
+                   .txn = id,
+                   .incarnation = txn.restarts,
+                   .file = spec.file,
+                   .node = node,
+                   .step = step,
+                   .value = cohort_objects});
     dpn.SubmitCohort(cohort_objects, quantum_objects,
-                     [this, id] { OnCohortDone(id); });
+                     [this, id, node] { OnCohortDone(id, node); });
   }
 }
 
-void Machine::OnCohortDone(TxnId id) {
+void Machine::OnCohortDone(TxnId id, NodeId node) {
+  trace_.set_now(sim_.Now());
+  if (trace_.enabled()) {
+    const Transaction& txn = GetTxn(id);
+    trace_.Record({.time = sim_.Now(),
+                   .type = TraceEventType::kScanEnd,
+                   .txn = id,
+                   .incarnation = txn.restarts,
+                   .node = node,
+                   .step = txn.current_step()});
+  }
   auto it = cohorts_remaining_.find(id);
   WTPG_CHECK(it != cohorts_remaining_.end());
   if (--it->second > 0) return;
@@ -252,6 +349,13 @@ void Machine::OnCohortDone(TxnId id) {
 void Machine::OnStepReturned(TxnId id) {
   Transaction& txn = GetTxn(id);
   const int step = txn.current_step();
+  trace_.set_now(sim_.Now());
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kStepReturn,
+                 .txn = id,
+                 .incarnation = txn.restarts,
+                 .file = txn.step(step).file,
+                 .step = step});
   txn.AdvanceStep();
   scheduler_->OnStepCompleted(txn, step);
   BeginStep(id);
@@ -268,12 +372,24 @@ void Machine::RequestCommit(TxnId id) {
 void Machine::OnCommitDone(TxnId id) {
   Transaction& txn = GetTxn(id);
   scheduler_->OnClock(sim_.Now());
+  trace_.set_now(sim_.Now());
   if (!scheduler_->ValidateAtCommit(txn)) {
     // OPT certification failure: abort and restart from scratch after the
     // configured delay.
     stats_.RecordRestart();
+    trace_.Record({.time = sim_.Now(),
+                   .type = TraceEventType::kAbort,
+                   .txn = id,
+                   .incarnation = txn.restarts,
+                   .arg = static_cast<int32_t>(
+                       AbortReason::kAbortValidationFailure)});
     scheduler_->OnAbort(txn);
     txn.ResetForRestart();
+    trace_.Record({.time = sim_.Now(),
+                   .type = TraceEventType::kRestartScheduled,
+                   .txn = id,
+                   .incarnation = txn.restarts,
+                   .value = config_.restart_delay_ms / 1000.0});
     sim_.ScheduleAfter(MsToTime(config_.restart_delay_ms),
                        [this, id] { RequestStartup(id, /*charge_sot=*/true); });
     return;
@@ -284,10 +400,20 @@ void Machine::OnCommitDone(TxnId id) {
       if (spec.access == LockMode::kExclusive) {
         log_.RecordAccess(id, txn.restarts, spec.file, spec.access,
                           sim_.Now());
+        trace_.Record({.time = sim_.Now(),
+                       .type = TraceEventType::kDataAccess,
+                       .txn = id,
+                       .incarnation = txn.restarts,
+                       .file = spec.file,
+                       .mode = spec.access});
       }
     }
   }
   log_.RecordCommit(id, txn.restarts);
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kCommit,
+                 .txn = id,
+                 .incarnation = txn.restarts});
   const std::vector<FileId> released = scheduler_->OnCommit(txn);
   txn.set_state(Transaction::State::kCommitted);
   txn.completion_time = sim_.Now();

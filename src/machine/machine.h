@@ -18,6 +18,7 @@
 #include "model/transaction.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "trace/trace_recorder.h"
 #include "workload/workload.h"
 
 namespace wtpgsched {
@@ -70,6 +71,11 @@ class Machine {
   // Time-series samples (empty unless config.timeline_sample_ms > 0).
   const TimelineRecorder& timeline() const { return timeline_; }
 
+  // Structured event trace (empty unless config.trace_enabled). Holds the
+  // most recent config.trace_capacity events; per-type counts cover the
+  // whole run.
+  const TraceRecorder& trace() const { return trace_; }
+
   // Scan backlog (objects) over the nodes holding `file`'s partitions
   // (LOW-LB load probe).
   double BacklogObjectsForFile(FileId file) const;
@@ -96,7 +102,7 @@ class Machine {
   void BeginStep(TxnId id);
   void DispatchStep(TxnId id);   // CN send message, then cohorts.
   void StartCohorts(TxnId id);
-  void OnCohortDone(TxnId id);
+  void OnCohortDone(TxnId id, NodeId node);
   void OnStepReturned(TxnId id);  // CN receive message done.
 
   // --- Commit ---
@@ -126,6 +132,7 @@ class Machine {
   StatsCollector stats_;
   ScheduleLog log_;
   TimelineRecorder timeline_;
+  TraceRecorder trace_;
 
   std::map<TxnId, std::unique_ptr<Transaction>> txns_;
   // Parked transactions. A parked txn is in exactly one list; a txn with a

@@ -1,0 +1,23 @@
+#include "metrics/counters.h"
+
+namespace wtpgsched {
+
+uint64_t& CounterRegistry::Counter(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return entries_[it->second].second;
+  index_.emplace(name, entries_.size());
+  entries_.emplace_back(name, 0);
+  return entries_.back().second;
+}
+
+uint64_t CounterRegistry::Get(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : entries_[it->second].second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Entries()
+    const {
+  return {entries_.begin(), entries_.end()};
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,43 @@
+#ifndef WTPG_SCHED_METRICS_COUNTERS_H_
+#define WTPG_SCHED_METRICS_COUNTERS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wtpgsched {
+
+// Small name -> uint64 counter registry. One registry per run collects every
+// per-event count — the machine's (blocked/delayed/...), the scheduler's
+// (low.deadlock_delays, gow.chain_rejections, ...) and the trace
+// recorder's — so a new counter needs exactly one Counter() call site:
+// RunStats::ToJson() and the trace exporter both iterate the registry
+// instead of naming fields.
+//
+// Entries live in a deque, so the reference returned by Counter() stays
+// valid for the registry's lifetime — hot paths resolve their counter once
+// and increment through the reference.
+class CounterRegistry {
+ public:
+  // The counter named `name`, created at zero on first use.
+  uint64_t& Counter(const std::string& name);
+
+  // Value of `name`, or 0 when it was never created.
+  uint64_t Get(const std::string& name) const;
+
+  // All counters in creation order.
+  std::vector<std::pair<std::string, uint64_t>> Entries() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::deque<std::pair<std::string, uint64_t>> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_METRICS_COUNTERS_H_

@@ -5,6 +5,17 @@
 
 namespace wtpgsched {
 
+namespace {
+
+// Counter names that already have a dedicated RunStats field; skipped when
+// appending registry extras so no value is emitted twice.
+bool IsLegacyCounter(const std::string& name) {
+  return name == "restarts" || name == "blocked" || name == "delayed" ||
+         name == "start_rejections";
+}
+
+}  // namespace
+
 std::string RunStats::ToJson() const {
   JsonWriter json;
   json.Add("arrivals", arrivals)
@@ -23,11 +34,19 @@ std::string RunStats::ToJson() const {
       .Add("max_dpn_utilization", max_dpn_utilization)
       .Add("sim_seconds", sim_seconds)
       .Add("in_flight_at_end", in_flight_at_end);
+  for (const auto& [name, value] : counters) {
+    if (!IsLegacyCounter(name)) json.Add(name, value);
+  }
   return json.ToString();
 }
 
 StatsCollector::StatsCollector(SimTime warmup, SimTime horizon)
-    : warmup_(warmup), horizon_(horizon) {
+    : warmup_(warmup),
+      horizon_(horizon),
+      restarts_(&counters_.Counter("restarts")),
+      blocked_(&counters_.Counter("blocked")),
+      delayed_(&counters_.Counter("delayed")),
+      start_rejections_(&counters_.Counter("start_rejections")) {
   WTPG_CHECK_GE(warmup_, 0);
   WTPG_CHECK_GT(horizon_, warmup_);
 }
@@ -47,6 +66,11 @@ RunStats StatsCollector::Finalize(double cn_utilization,
                                   double max_dpn_utilization,
                                   uint64_t in_flight) const {
   RunStats result = stats_;
+  result.restarts = counters_.Get("restarts");
+  result.blocked = counters_.Get("blocked");
+  result.delayed = counters_.Get("delayed");
+  result.start_rejections = counters_.Get("start_rejections");
+  result.counters = counters_.Entries();
   result.mean_response_s = window_responses_.Mean();
   result.median_response_s = window_responses_.Median();
   result.p95_response_s = window_responses_.Percentile(95.0);

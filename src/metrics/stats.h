@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "metrics/counters.h"
 #include "model/transaction.h"
 #include "sim/time.h"
 #include "util/histogram.h"
@@ -33,7 +35,15 @@ struct RunStats {
   double sim_seconds = 0.0;     // Total simulated horizon.
   uint64_t in_flight_at_end = 0;  // Transactions not finished at horizon.
 
-  // One-line JSON object with every field (tooling output).
+  // Full counter-registry contents, in registration order. The first four
+  // ("restarts", "blocked", "delayed", "start_rejections") mirror the legacy
+  // fields above; the rest are scheduler-specific ("low.deadlock_delays")
+  // and trace counters ("trace.commit"), present only when non-empty.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  // One-line JSON object with every field (tooling output). Legacy field
+  // names and order are preserved; non-legacy counters are appended at the
+  // end under their registry names.
   std::string ToJson() const;
 
   // Per-workload-class breakdown (mixed workloads; one entry for
@@ -56,10 +66,10 @@ class StatsCollector {
   StatsCollector(SimTime warmup, SimTime horizon);
 
   void RecordArrival() { ++stats_.arrivals; }
-  void RecordBlocked() { ++stats_.blocked; }
-  void RecordDelayed() { ++stats_.delayed; }
-  void RecordStartRejection() { ++stats_.start_rejections; }
-  void RecordRestart() { ++stats_.restarts; }
+  void RecordBlocked() { ++*blocked_; }
+  void RecordDelayed() { ++*delayed_; }
+  void RecordStartRejection() { ++*start_rejections_; }
+  void RecordRestart() { ++*restarts_; }
 
   void RecordCompletion(const Transaction& txn, SimTime now);
 
@@ -72,10 +82,24 @@ class StatsCollector {
 
   const Histogram& response_times() const { return window_responses_; }
 
+  // Shared name -> count registry. The collector's own counters live here
+  // (under the legacy JSON field names); schedulers and the trace recorder
+  // add theirs before Finalize via Scheduler::ExportCounters /
+  // TraceRecorder::ExportCounters.
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+
  private:
   SimTime warmup_;
   SimTime horizon_;
   RunStats stats_;
+  CounterRegistry counters_;
+  // Cached registry slots for the hot-path Record* calls (deque-backed, so
+  // the references stay valid as other counters register).
+  uint64_t* restarts_;
+  uint64_t* blocked_;
+  uint64_t* delayed_;
+  uint64_t* start_rejections_;
   Histogram window_responses_;  // Seconds; completions in window only.
   std::map<int, Histogram> class_responses_;
 };

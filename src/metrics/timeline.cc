@@ -26,8 +26,7 @@ Status TimelineRecorder::WriteCsv(const std::string& path) const {
                      FormatDouble(s.dpn_backlog_objects, 2),
                      StrCat(s.completions)});
   }
-  writer.Close();
-  return Status::Ok();
+  return writer.Close();
 }
 
 }  // namespace wtpgsched

@@ -1,5 +1,6 @@
 #include "sched/c2pl.h"
 
+#include "metrics/counters.h"
 #include "util/string_util.h"
 
 namespace wtpgsched {
@@ -41,10 +42,25 @@ Decision C2plScheduler::DecideLock(Transaction& txn, int step) {
   // the new edges must close via a pre-existing u ~> txn path, since the
   // new edges all leave txn). Cheap reachability instead of a graph clone —
   // C2PL graphs grow large under saturation.
-  if (graph_.WouldCycle(txn.id(), PendingConflicters(file, txn.id(), mode))) {
+  const bool cycle =
+      graph_.WouldCycle(txn.id(), PendingConflicters(file, txn.id(), mode));
+  if (tracing()) {
+    trace_->Record({.time = trace_->now(),
+                    .type = TraceEventType::kC2plPredict,
+                    .txn = txn.id(),
+                    .file = file,
+                    .step = step,
+                    .arg = cycle ? 1 : 0});
+  }
+  if (cycle) {
+    ++predicted_deadlocks_;
     return Decision{DecisionKind::kDelay, file};
   }
   return Decision{DecisionKind::kGrant, file};
+}
+
+void C2plScheduler::ExportCounters(CounterRegistry* registry) const {
+  registry->Counter("c2pl.predicted_deadlocks") += predicted_deadlocks_;
 }
 
 void C2plScheduler::AfterGrant(Transaction& txn, int step) {

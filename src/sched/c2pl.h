@@ -30,8 +30,11 @@ class C2plScheduler : public WtpgSchedulerBase {
   SimTime LockDecisionCost(const Transaction& txn, int step) const override;
 
   int mpl() const { return mpl_; }
+  uint64_t predicted_deadlocks() const { return predicted_deadlocks_; }
 
   bool RetryDelayedOnGrant() const override { return false; }
+
+  void ExportCounters(CounterRegistry* registry) const override;
 
  protected:
   Decision DecideStartup(Transaction& txn) override;
@@ -43,6 +46,7 @@ class C2plScheduler : public WtpgSchedulerBase {
  private:
   SimTime ddtime_;
   int mpl_;
+  uint64_t predicted_deadlocks_ = 0;
 };
 
 }  // namespace wtpgsched

@@ -1,5 +1,6 @@
 #include "sched/gow.h"
 
+#include "metrics/counters.h"
 #include "util/logging.h"
 
 namespace wtpgsched {
@@ -25,7 +26,15 @@ Decision GowScheduler::DecideStartup(Transaction& txn) {
   for (const auto& [id, other] : active_) {
     if (txn.ConflictsWith(*other)) conflict_set.push_back(id);
   }
-  if (!CanExtendChain(graph_, conflict_set)) {
+  const bool accepted = CanExtendChain(graph_, conflict_set);
+  if (tracing()) {
+    trace_->Record({.time = trace_->now(),
+                    .type = TraceEventType::kGowChainTest,
+                    .txn = txn.id(),
+                    .arg = accepted ? 1 : 0,
+                    .value = static_cast<double>(conflict_set.size())});
+  }
+  if (!accepted) {
     ++chain_rejections_;
     return Decision{DecisionKind::kReject, kInvalidFile};
   }
@@ -47,11 +56,29 @@ Decision GowScheduler::DecideLock(Transaction& txn, int step) {
       PendingConflicters(file, txn.id(), mode);
   if (targets.empty()) {
     // No serialization order is determined: trivially consistent with W.
+    if (tracing()) {
+      trace_->Record({.time = trace_->now(),
+                      .type = TraceEventType::kGowOrientation,
+                      .txn = txn.id(),
+                      .file = file,
+                      .step = step,
+                      .arg = static_cast<int32_t>(
+                          GowOutcome::kGowGrantTrivial)});
+    }
     return Decision{DecisionKind::kGrant, file};
   }
   // Already-determined order against us => granting would close a cycle.
   for (TxnId u : targets) {
     if (graph_.IsOriented(u, txn.id())) {
+      if (tracing()) {
+        trace_->Record({.time = trace_->now(),
+                        .type = TraceEventType::kGowOrientation,
+                        .txn = txn.id(),
+                        .file = file,
+                        .step = step,
+                        .arg = static_cast<int32_t>(
+                            GowOutcome::kGowDelayOriented)});
+      }
       return Decision{DecisionKind::kDelay, file};
     }
   }
@@ -71,10 +98,30 @@ Decision GowScheduler::DecideLock(Transaction& txn, int step) {
   StatusOr<ChainPlan> with_grant = OptimizeChainOf(graph_, txn.id());
   graph_.Rollback(&journal);
   WTPG_CHECK(with_grant.ok()) << with_grant.status().ToString();
-  if (with_grant->critical_path > base->critical_path + 1e-9) {
+  const bool suboptimal =
+      with_grant->critical_path > base->critical_path + 1e-9;
+  if (tracing()) {
+    // Optimized-order comparison: critical path of the best order without
+    // the grant (value) vs. with its forced orientations (value2).
+    trace_->Record({.time = trace_->now(),
+                    .type = TraceEventType::kGowOrientation,
+                    .txn = txn.id(),
+                    .file = file,
+                    .step = step,
+                    .arg = static_cast<int32_t>(
+                        suboptimal ? GowOutcome::kGowDelaySuboptimal
+                                   : GowOutcome::kGowGrantOptimal),
+                    .value = base->critical_path,
+                    .value2 = with_grant->critical_path});
+  }
+  if (suboptimal) {
     return Decision{DecisionKind::kDelay, file};
   }
   return Decision{DecisionKind::kGrant, file};
+}
+
+void GowScheduler::ExportCounters(CounterRegistry* registry) const {
+  registry->Counter("gow.chain_rejections") += chain_rejections_;
 }
 
 void GowScheduler::AfterGrant(Transaction& txn, int step) {

@@ -35,6 +35,8 @@ class GowScheduler : public WtpgSchedulerBase {
 
   bool CostlyAdmission() const override { return true; }
 
+  void ExportCounters(CounterRegistry* registry) const override;
+
  protected:
   Decision DecideStartup(Transaction& txn) override;
   void AfterAdmit(Transaction& txn) override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/counters.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -76,15 +77,46 @@ Decision LowScheduler::DecideLock(Transaction& txn, int step) {
   const double eq_graph = EvaluateGrant(graph_, txn.id(), competitors);
   if (std::isinf(eq_graph)) {
     ++deadlock_delays_;
+    if (tracing()) {
+      trace_->Record({.time = trace_->now(),
+                      .type = TraceEventType::kLowDeadlock,
+                      .txn = txn.id(),
+                      .file = file,
+                      .step = step,
+                      .arg = static_cast<int32_t>(competitors.size())});
+    }
     return Decision{DecisionKind::kDelay, file};
   }
   const double eq = eq_graph + GrantPenalty(txn, step);
+  if (tracing()) {
+    // E(q): critical path after the hypothetical grant (value), penalized
+    // value actually compared (value2), |C(q)| in arg.
+    trace_->Record({.time = trace_->now(),
+                    .type = TraceEventType::kLowEval,
+                    .txn = txn.id(),
+                    .file = file,
+                    .step = step,
+                    .arg = static_cast<int32_t>(competitors.size()),
+                    .value = eq_graph,
+                    .value2 = eq});
+  }
   // Phase3: E(q) <= E(p) for all p in C(q).
   for (TxnId u : competitors) {
     const Transaction* other = active_.at(u);
     const LockMode other_mode = other->lock_modes().at(file);
     const double ep =
         EvaluateGrant(graph_, u, PendingConflicters(file, u, other_mode));
+    if (tracing()) {
+      // Competitor evaluation: E(p) for p in C(q); arg = -1 marks it as a
+      // competitor row of the preceding kLowEval.
+      trace_->Record({.time = trace_->now(),
+                      .type = TraceEventType::kLowEval,
+                      .txn = u,
+                      .file = file,
+                      .step = step,
+                      .arg = -1,
+                      .value = ep});
+    }
     if (eq > ep) return Decision{DecisionKind::kDelay, file};
   }
   return Decision{DecisionKind::kGrant, file};
@@ -100,6 +132,11 @@ double LowScheduler::GrantPenalty(const Transaction& txn, int step) const {
   (void)txn;
   (void)step;
   return 0.0;
+}
+
+void LowScheduler::ExportCounters(CounterRegistry* registry) const {
+  registry->Counter("low.k_rejections") += admission_k_rejections_;
+  registry->Counter("low.deadlock_delays") += deadlock_delays_;
 }
 
 }  // namespace wtpgsched

@@ -37,6 +37,8 @@ class LowScheduler : public WtpgSchedulerBase {
   uint64_t admission_k_rejections() const { return admission_k_rejections_; }
   uint64_t deadlock_delays() const { return deadlock_delays_; }
 
+  void ExportCounters(CounterRegistry* registry) const override;
+
  protected:
   Decision DecideStartup(Transaction& txn) override;
   void AfterAdmit(Transaction& txn) override;

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "metrics/counters.h"
+
 namespace wtpgsched {
 
 Decision OptScheduler::DecideStartup(Transaction& txn) {
@@ -29,8 +31,27 @@ bool OptScheduler::ValidateAtCommit(Transaction& txn) {
     auto it = last_write_commit_.find(file);
     if (it != last_write_commit_.end() && it->second > started) {
       ++validation_failures_;
+      if (tracing()) {
+        // Failed backward validation: the conflicting file and the age of
+        // the incarnation at validation time (seconds).
+        trace_->Record({.time = trace_->now(),
+                        .type = TraceEventType::kOptValidation,
+                        .txn = txn.id(),
+                        .incarnation = txn.restarts,
+                        .file = file,
+                        .arg = 0,
+                        .value = TimeToSeconds(now_ - started)});
+      }
       return false;
     }
+  }
+  if (tracing()) {
+    trace_->Record({.time = trace_->now(),
+                    .type = TraceEventType::kOptValidation,
+                    .txn = txn.id(),
+                    .incarnation = txn.restarts,
+                    .arg = 1,
+                    .value = TimeToSeconds(now_ - started)});
   }
   return true;
 }
@@ -42,6 +63,10 @@ void OptScheduler::AfterCommit(Transaction& txn) {
       last_write_commit_[step.file] = now_;
     }
   }
+}
+
+void OptScheduler::ExportCounters(CounterRegistry* registry) const {
+  registry->Counter("opt.validation_failures") += validation_failures_;
 }
 
 }  // namespace wtpgsched

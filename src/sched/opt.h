@@ -34,6 +34,8 @@ class OptScheduler : public Scheduler {
 
   uint64_t validation_failures() const { return validation_failures_; }
 
+  void ExportCounters(CounterRegistry* registry) const override;
+
  protected:
   Decision DecideStartup(Transaction& txn) override;
   Decision DecideLock(Transaction& txn, int step) override;

@@ -9,6 +9,7 @@
 #include "model/transaction.h"
 #include "model/types.h"
 #include "sim/time.h"
+#include "trace/trace_recorder.h"
 #include "wtpg/wtpg.h"
 
 namespace wtpgsched {
@@ -96,6 +97,18 @@ class Scheduler {
   size_t num_active() const { return active_.size(); }
   const std::map<TxnId, Transaction*>& active() const { return active_; }
 
+  // Recorder for scheduler-internal decision events (E(q) evaluations,
+  // chain tests, deadlock predictions, validation outcomes). The machine
+  // wires this before the run; the recorder stamps time via its now()
+  // clock, which the machine refreshes per event.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Adds this scheduler's decision counters (e.g. "low.deadlock_delays")
+  // to the run's registry; called once at the end of a run.
+  virtual void ExportCounters(CounterRegistry* registry) const {
+    (void)registry;
+  }
+
  protected:
   // --- Template-method hooks ---
 
@@ -115,8 +128,12 @@ class Scheduler {
   virtual bool ChecksCompatibility() const { return true; }
   virtual bool RecordsLocks() const { return true; }
 
+  // True when scheduler-internal tracing is on (guard event payload work).
+  bool tracing() const { return trace_ != nullptr && trace_->enabled(); }
+
   LockTable lock_table_;
   std::map<TxnId, Transaction*> active_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 // Shared machinery for the schedulers that maintain a (weighted or

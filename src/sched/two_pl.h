@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "metrics/counters.h"
 #include "sched/scheduler.h"
 
 namespace wtpgsched {
@@ -27,6 +28,10 @@ class TwoPlScheduler : public Scheduler {
   SimTime LockDecisionCost(const Transaction& txn, int step) const override;
 
   uint64_t deadlock_aborts() const { return deadlock_aborts_; }
+
+  void ExportCounters(CounterRegistry* registry) const override {
+    registry->Counter("twopl.deadlock_aborts") += deadlock_aborts_;
+  }
 
  protected:
   Decision DecideStartup(Transaction& txn) override;

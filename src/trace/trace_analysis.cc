@@ -1,0 +1,134 @@
+#include "trace/trace_analysis.h"
+
+#include <unordered_map>
+
+#include "analysis/schedule_log.h"
+
+namespace wtpgsched {
+
+namespace {
+
+// Per-transaction replay state while walking the event stream.
+struct TxnState {
+  bool arrived = false;  // kArrive seen (inside the buffered window).
+  SimTime arrival = 0;
+  int restarts = 0;
+  SimTime admit_open = -1;  // kArrive / kRestartScheduled awaiting kAdmit.
+  SimTime lock_open = -1;   // First kLockRequest of the current step.
+  SimTime exec_open = -1;   // kStepDispatch awaiting kStepReturn.
+  SimTime admission_wait = 0;
+  SimTime lock_wait = 0;
+  SimTime execution = 0;
+};
+
+}  // namespace
+
+TraceSummary SummarizeTrace(const std::vector<TraceEvent>& events) {
+  TraceSummary summary;
+  std::unordered_map<TxnId, TxnState> state;
+  for (const TraceEvent& e : events) {
+    summary.event_counts[TraceEventTypeName(e.type)] += 1;
+    TxnState& s = state[e.txn];
+    switch (e.type) {
+      case TraceEventType::kArrive:
+        s.arrived = true;
+        s.arrival = e.time;
+        s.admit_open = e.time;
+        ++summary.arrived;
+        break;
+      case TraceEventType::kRestartScheduled:
+        s.admit_open = e.time;
+        ++s.restarts;
+        break;
+      case TraceEventType::kAdmit:
+        if (s.admit_open >= 0) {
+          s.admission_wait += e.time - s.admit_open;
+          s.admit_open = -1;
+        }
+        break;
+      case TraceEventType::kLockRequest:
+        if (s.lock_open < 0) s.lock_open = e.time;
+        break;
+      case TraceEventType::kStepDispatch:
+        if (s.lock_open >= 0) {
+          s.lock_wait += e.time - s.lock_open;
+          s.lock_open = -1;
+        }
+        s.exec_open = e.time;
+        break;
+      case TraceEventType::kStepReturn:
+        if (s.exec_open >= 0) {
+          s.execution += e.time - s.exec_open;
+          s.exec_open = -1;
+        }
+        break;
+      case TraceEventType::kAbort:
+        // The dead incarnation's open intervals end here; the time counts
+        // toward the category that was open when the abort struck.
+        if (s.lock_open >= 0) {
+          s.lock_wait += e.time - s.lock_open;
+          s.lock_open = -1;
+        }
+        if (s.exec_open >= 0) {
+          s.execution += e.time - s.exec_open;
+          s.exec_open = -1;
+        }
+        ++summary.aborted;
+        break;
+      case TraceEventType::kCommit: {
+        ++summary.committed;
+        if (!s.arrived) break;  // Arrival fell outside the ring window.
+        TxnBreakdown b;
+        b.txn = e.txn;
+        b.committed = true;
+        b.restarts = s.restarts;
+        b.response_s = TimeToSeconds(e.time - s.arrival);
+        b.admission_wait_s = TimeToSeconds(s.admission_wait);
+        b.lock_wait_s = TimeToSeconds(s.lock_wait);
+        b.execution_s = TimeToSeconds(s.execution);
+        b.other_s = b.response_s - b.admission_wait_s - b.lock_wait_s -
+                    b.execution_s;
+        summary.txns.push_back(b);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!summary.txns.empty()) {
+    const double n = static_cast<double>(summary.txns.size());
+    for (const TxnBreakdown& b : summary.txns) {
+      summary.mean_response_s += b.response_s;
+      summary.mean_admission_wait_s += b.admission_wait_s;
+      summary.mean_lock_wait_s += b.lock_wait_s;
+      summary.mean_execution_s += b.execution_s;
+      summary.mean_other_s += b.other_s;
+    }
+    summary.mean_response_s /= n;
+    summary.mean_admission_wait_s /= n;
+    summary.mean_lock_wait_s /= n;
+    summary.mean_execution_s /= n;
+    summary.mean_other_s /= n;
+  }
+  return summary;
+}
+
+SerializabilityResult CheckTraceSerializable(
+    const std::vector<TraceEvent>& events) {
+  ScheduleLog log;
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kDataAccess:
+        log.RecordAccess(e.txn, e.incarnation, e.file, e.mode, e.time);
+        break;
+      case TraceEventType::kCommit:
+        log.RecordCommit(e.txn, e.incarnation);
+        break;
+      default:
+        break;
+    }
+  }
+  return CheckConflictSerializability(log);
+}
+
+}  // namespace wtpgsched

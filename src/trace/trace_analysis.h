@@ -1,0 +1,59 @@
+#ifndef WTPG_SCHED_TRACE_TRACE_ANALYSIS_H_
+#define WTPG_SCHED_TRACE_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/serializability.h"
+#include "trace/trace_event.h"
+
+namespace wtpgsched {
+
+// Where a transaction's response time went, reconstructed from its trace
+// events. All figures are in simulated seconds and sum (with `other`) to
+// `response`, so the breakdown reconciles with RunStats.mean_response_s.
+struct TxnBreakdown {
+  TxnId txn = kInvalidTxn;
+  bool committed = false;
+  int restarts = 0;
+  double response_s = 0.0;        // arrival -> commit.
+  double admission_wait_s = 0.0;  // Parked awaiting admission (all incarnations).
+  double lock_wait_s = 0.0;       // Lock request -> step dispatch.
+  double execution_s = 0.0;       // Step dispatch -> step return.
+  double other_s = 0.0;           // Remainder: CN queueing, commit, restarts.
+};
+
+// Aggregate of the per-transaction breakdowns plus decision counts.
+struct TraceSummary {
+  std::vector<TxnBreakdown> txns;  // Committed transactions only.
+  uint64_t arrived = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  // Mean over committed transactions.
+  double mean_response_s = 0.0;
+  double mean_admission_wait_s = 0.0;
+  double mean_lock_wait_s = 0.0;
+  double mean_execution_s = 0.0;
+  double mean_other_s = 0.0;
+  // Event counts by type over the buffered window.
+  std::map<std::string, uint64_t> event_counts;
+};
+
+// Replays the event stream and computes the wait-time decomposition.
+// Transactions whose kArrive fell outside the ring-buffer window are
+// skipped (their response time cannot be reconstructed).
+TraceSummary SummarizeTrace(const std::vector<TraceEvent>& events);
+
+// Post-hoc serialization-order check: replays the trace's data accesses and
+// commits into a precedence (conflict) graph and verifies acyclicity — the
+// correctness oracle for every scheduler except NODC. Equivalent to
+// CheckConflictSerializability over the machine's ScheduleLog, but driven
+// entirely from an exported trace.
+SerializabilityResult CheckTraceSerializable(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TRACE_TRACE_ANALYSIS_H_

@@ -1,0 +1,318 @@
+#include "trace/trace_export.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "util/json_writer.h"
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+namespace {
+
+// Which optional payload fields an event type carries (beyond txn / file /
+// node / step / incarnation, which are emitted whenever set).
+bool UsesArg(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kAbort:
+    case TraceEventType::kLowEval:
+    case TraceEventType::kGowChainTest:
+    case TraceEventType::kGowOrientation:
+    case TraceEventType::kC2plPredict:
+    case TraceEventType::kOptValidation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool UsesValue(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kScanStart:
+    case TraceEventType::kLowEval:
+    case TraceEventType::kGowChainTest:
+    case TraceEventType::kGowOrientation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// JSON numbers cannot be infinite, but LOW's E() legitimately is (a grant
+// that would deadlock); emit non-finite values as "inf"/"-inf" strings,
+// which strtod round-trips.
+void AddValue(JsonWriter* json, const char* key, double value) {
+  if (std::isfinite(value)) {
+    json->Add(key, value);
+  } else {
+    json->Add(key, value > 0 ? "inf" : "-inf");
+  }
+}
+
+bool UsesMode(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kLockGrant:
+    case TraceEventType::kDataAccess:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string EventToJson(const TraceEvent& e) {
+  JsonWriter json;
+  json.Add("t", static_cast<int64_t>(e.time));
+  json.Add("type", TraceEventTypeName(e.type));
+  if (e.txn != kInvalidTxn) json.Add("txn", static_cast<int64_t>(e.txn));
+  if (e.incarnation != 0) json.Add("inc", e.incarnation);
+  if (e.file != kInvalidFile) json.Add("file", e.file);
+  if (e.node != kInvalidNode) json.Add("node", e.node);
+  if (e.step >= 0) json.Add("step", e.step);
+  if (UsesMode(e.type)) {
+    json.Add("mode", e.mode == LockMode::kExclusive ? "X" : "S");
+  }
+  if (UsesArg(e.type)) json.Add("arg", e.arg);
+  if (UsesValue(e.type)) {
+    AddValue(&json, "v", e.value);
+    // kGowOrientation: critical path with the grant; kLowEval requester
+    // rows: E(q) with the K-conflict penalty added.
+    if (e.value2 != 0.0) AddValue(&json, "v2", e.value2);
+  }
+  return json.ToString();
+}
+
+Status WriteJsonlTrace(
+    const std::vector<TraceEvent>& events, const TraceMeta& meta,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    uint64_t dropped, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal(StrCat("cannot open ", path, " for writing"));
+  }
+  JsonWriter header;
+  header.Add("schema", kTraceSchemaVersion)
+      .Add("scheduler", meta.scheduler)
+      .Add("num_nodes", meta.num_nodes)
+      .Add("num_files", meta.num_files)
+      .Add("dd", meta.dd)
+      .Add("seed", meta.seed)
+      .Add("time_unit", "us");
+  out << header.ToString() << '\n';
+  for (const TraceEvent& e : events) out << EventToJson(e) << '\n';
+  JsonWriter counters_json;
+  for (const auto& [name, value] : counters) counters_json.Add(name, value);
+  JsonWriter footer;
+  footer.Add("type", "end")
+      .Add("events", static_cast<uint64_t>(events.size()))
+      .Add("dropped", dropped)
+      .AddRaw("counters", counters_json.ToString());
+  out << footer.ToString() << '\n';
+  out.flush();
+  if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+namespace {
+
+// Chrome trace-event emission helpers. pid 1 = DPN tracks, pid 2 = one
+// track per transaction.
+constexpr int kDpnPid = 1;
+constexpr int kTxnPid = 2;
+
+std::string MetadataEvent(const char* name, int pid, int64_t tid,
+                          const std::string& value, bool has_tid) {
+  JsonWriter args;
+  args.Add("name", value);
+  JsonWriter json;
+  json.Add("name", name).Add("ph", "M").Add("pid", pid);
+  if (has_tid) json.Add("tid", tid);
+  json.AddRaw("args", args.ToString());
+  return json.ToString();
+}
+
+std::string SliceEvent(const std::string& name, int pid, int64_t tid,
+                       SimTime ts, SimTime dur, const std::string& args) {
+  JsonWriter json;
+  json.Add("name", name)
+      .Add("ph", "X")
+      .Add("pid", pid)
+      .Add("tid", tid)
+      .Add("ts", static_cast<int64_t>(ts))
+      .Add("dur", static_cast<int64_t>(dur));
+  if (!args.empty()) json.AddRaw("args", args);
+  return json.ToString();
+}
+
+std::string InstantEvent(const std::string& name, int pid, int64_t tid,
+                         SimTime ts, const std::string& args) {
+  JsonWriter json;
+  json.Add("name", name)
+      .Add("ph", "i")
+      .Add("pid", pid)
+      .Add("tid", tid)
+      .Add("ts", static_cast<int64_t>(ts))
+      .Add("s", "t");
+  if (!args.empty()) json.AddRaw("args", args);
+  return json.ToString();
+}
+
+}  // namespace
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal(StrCat("cannot open ", path, " for writing"));
+  }
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) out << ",\n";
+    first = false;
+    out << json;
+  };
+
+  emit(MetadataEvent("process_name", kDpnPid, 0,
+                     StrCat("DPN scans (", meta.scheduler, ")"), false));
+  emit(MetadataEvent("process_name", kTxnPid, 0, "transactions", false));
+  for (int n = 0; n < meta.num_nodes; ++n) {
+    emit(MetadataEvent("thread_name", kDpnPid, n, StrCat("DPN ", n), true));
+  }
+  std::set<TxnId> named;
+  for (const TraceEvent& e : events) {
+    if (e.txn != kInvalidTxn && named.insert(e.txn).second) {
+      emit(MetadataEvent("thread_name", kTxnPid, e.txn,
+                         StrCat("T", e.txn), true));
+    }
+  }
+
+  // Pair start/end events while replaying the stream in order.
+  std::map<std::pair<TxnId, NodeId>, std::vector<TraceEvent>> scan_open;
+  std::map<TxnId, SimTime> admit_open;   // kArrive/kRestartScheduled time.
+  std::map<TxnId, TraceEvent> lock_open; // First kLockRequest of the step.
+  std::map<TxnId, TraceEvent> exec_open; // kStepDispatch.
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kScanStart:
+        scan_open[{e.txn, e.node}].push_back(e);
+        break;
+      case TraceEventType::kScanEnd: {
+        auto it = scan_open.find({e.txn, e.node});
+        if (it == scan_open.end() || it->second.empty()) break;
+        const TraceEvent start = it->second.front();
+        it->second.erase(it->second.begin());
+        JsonWriter args;
+        args.Add("objects", start.value);
+        emit(SliceEvent(StrCat("T", e.txn, " scan F", start.file), kDpnPid,
+                        e.node, start.time, e.time - start.time,
+                        args.ToString()));
+        break;
+      }
+      case TraceEventType::kArrive:
+      case TraceEventType::kRestartScheduled:
+        admit_open.emplace(e.txn, e.time);
+        break;
+      case TraceEventType::kAdmit: {
+        auto it = admit_open.find(e.txn);
+        if (it != admit_open.end()) {
+          if (e.time > it->second) {
+            emit(SliceEvent("admission-wait", kTxnPid, e.txn, it->second,
+                            e.time - it->second, ""));
+          }
+          admit_open.erase(it);
+        }
+        break;
+      }
+      case TraceEventType::kAdmissionRejected:
+        emit(InstantEvent("admission-rejected", kTxnPid, e.txn, e.time, ""));
+        break;
+      case TraceEventType::kLockRequest:
+        lock_open.emplace(e.txn, e);  // Keep the first request of the step.
+        break;
+      case TraceEventType::kStepDispatch: {
+        auto it = lock_open.find(e.txn);
+        if (it != lock_open.end()) {
+          emit(SliceEvent(StrCat("lock-wait F", it->second.file), kTxnPid,
+                          e.txn, it->second.time,
+                          e.time - it->second.time, ""));
+          lock_open.erase(it);
+        }
+        exec_open[e.txn] = e;
+        break;
+      }
+      case TraceEventType::kStepReturn: {
+        auto it = exec_open.find(e.txn);
+        if (it != exec_open.end()) {
+          emit(SliceEvent(StrCat("step ", it->second.step, " F",
+                                 it->second.file),
+                          kTxnPid, e.txn, it->second.time,
+                          e.time - it->second.time, ""));
+          exec_open.erase(it);
+        }
+        break;
+      }
+      case TraceEventType::kCommit:
+        emit(InstantEvent("commit", kTxnPid, e.txn, e.time, ""));
+        break;
+      case TraceEventType::kAbort: {
+        JsonWriter args;
+        args.Add("reason", e.arg == kAbortDeadlockVictim
+                               ? "deadlock-victim"
+                               : "validation-failure");
+        emit(InstantEvent("abort", kTxnPid, e.txn, e.time,
+                          args.ToString()));
+        // Waits of the dead incarnation stay open; drop them.
+        lock_open.erase(e.txn);
+        exec_open.erase(e.txn);
+        break;
+      }
+      case TraceEventType::kLowEval: {
+        JsonWriter args;
+        args.Add("E", e.value).Add("competitors", e.arg);
+        emit(InstantEvent(e.arg >= 0 ? "E(q)" : "E(p)", kTxnPid, e.txn,
+                          e.time, args.ToString()));
+        break;
+      }
+      case TraceEventType::kLowDeadlock:
+        emit(InstantEvent("E(q)=inf", kTxnPid, e.txn, e.time, ""));
+        break;
+      case TraceEventType::kGowChainTest: {
+        JsonWriter args;
+        args.Add("accepted", e.arg == 1).Add("conflict_set", e.value);
+        emit(InstantEvent("chain-test", kTxnPid, e.txn, e.time,
+                          args.ToString()));
+        break;
+      }
+      case TraceEventType::kGowOrientation: {
+        JsonWriter args;
+        args.Add("outcome", e.arg).Add("base_cp", e.value)
+            .Add("grant_cp", e.value2);
+        emit(InstantEvent("chain-orientation", kTxnPid, e.txn, e.time,
+                          args.ToString()));
+        break;
+      }
+      case TraceEventType::kC2plPredict:
+        if (e.arg == 1) {
+          emit(InstantEvent("deadlock-predicted", kTxnPid, e.txn, e.time,
+                            ""));
+        }
+        break;
+      case TraceEventType::kOptValidation:
+        emit(InstantEvent(e.arg == 1 ? "validation-pass" : "validation-fail",
+                          kTxnPid, e.txn, e.time, ""));
+        break;
+      default:
+        break;
+    }
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+}  // namespace wtpgsched

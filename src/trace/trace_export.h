@@ -1,0 +1,47 @@
+#ifndef WTPG_SCHED_TRACE_TRACE_EXPORT_H_
+#define WTPG_SCHED_TRACE_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_event.h"
+#include "util/status.h"
+
+namespace wtpgsched {
+
+inline constexpr const char* kTraceSchemaVersion = "wtpg-trace/1";
+
+// Run metadata carried in the JSONL header line (and as Chrome metadata).
+struct TraceMeta {
+  std::string scheduler;
+  int num_nodes = 0;
+  int num_files = 0;
+  int dd = 1;
+  uint64_t seed = 0;
+};
+
+// One event as a single-line JSON object ({"t":...,"type":...,...}); only
+// the fields meaningful for the event's type are emitted.
+std::string EventToJson(const TraceEvent& event);
+
+// Writes the schema-versioned JSONL trace: a header object, one event per
+// line (chronological), and a {"type":"end",...} footer with the event and
+// drop totals plus the run's counter registry snapshot.
+Status WriteJsonlTrace(
+    const std::vector<TraceEvent>& events, const TraceMeta& meta,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    uint64_t dropped, const std::string& path);
+
+// Writes the Chrome trace-event format (loadable in Perfetto /
+// chrome://tracing): one track per DPN with scan-residence slices, one
+// track per transaction with admission-wait / lock-wait / step slices and
+// instants for commits, aborts and scheduler decisions. `ts` is simulated
+// microseconds.
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta, const std::string& path);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TRACE_TRACE_EXPORT_H_

@@ -1,0 +1,262 @@
+#include "trace/trace_reader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+namespace {
+
+// Minimal parser for the flat one-line JSON objects this library writes:
+// string / number / bool values, plus one level of nested object whose raw
+// text is kept verbatim (the footer's "counters"). Not a general JSON
+// parser — traces are produced by WriteJsonlTrace, and anything else should
+// fail loudly.
+Status ParseFlatObject(const std::string& line,
+                       std::map<std::string, std::string>* out) {
+  out->clear();
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_string = [&](std::string* s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    s->clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      *s += line[i++];
+    }
+    if (i >= line.size()) return false;
+    ++i;  // Closing quote.
+    return true;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("not a JSON object");
+  }
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return Status::Ok();
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) {
+      return Status::InvalidArgument("bad JSON key");
+    }
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') {
+      return Status::InvalidArgument(StrCat("missing ':' after ", key));
+    }
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(&value)) {
+        return Status::InvalidArgument(StrCat("bad string value for ", key));
+      }
+    } else if (i < line.size() && line[i] == '{') {
+      // Nested object: capture raw text (no nested strings with braces in
+      // this format's counter names worth worrying about beyond quotes).
+      const size_t start = i;
+      int depth = 0;
+      bool in_string = false;
+      for (; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_string) {
+          if (c == '\\') ++i;
+          else if (c == '"') in_string = false;
+          continue;
+        }
+        if (c == '"') in_string = true;
+        else if (c == '{') ++depth;
+        else if (c == '}' && --depth == 0) { ++i; break; }
+      }
+      if (depth != 0) {
+        return Status::InvalidArgument(StrCat("unbalanced object for ", key));
+      }
+      value = line.substr(start, i - start);
+    } else {
+      const size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      value = line.substr(start, i - start);
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+        value.pop_back();
+      }
+      if (value.empty()) {
+        return Status::InvalidArgument(StrCat("empty value for ", key));
+      }
+    }
+    (*out)[key] = value;
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') return Status::Ok();
+    return Status::InvalidArgument("missing ',' or '}'");
+  }
+}
+
+const std::unordered_map<std::string, TraceEventType>& TypeByName() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, TraceEventType>;
+    for (size_t i = 0; i < static_cast<size_t>(TraceEventType::kNumTypes);
+         ++i) {
+      const auto type = static_cast<TraceEventType>(i);
+      (*m)[TraceEventTypeName(type)] = type;
+    }
+    return m;
+  }();
+  return *map;
+}
+
+Status ParseInt64(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrCat("bad integer '", s, "'"));
+  }
+  return Status::Ok();
+}
+
+Status ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrCat("bad number '", s, "'"));
+  }
+  return Status::Ok();
+}
+
+Status EventFromFields(const std::map<std::string, std::string>& kv,
+                       TraceEvent* e) {
+  *e = TraceEvent{};
+  for (const auto& [key, value] : kv) {
+    if (key == "type") {
+      auto it = TypeByName().find(value);
+      if (it == TypeByName().end()) {
+        return Status::InvalidArgument(StrCat("unknown event type '", value,
+                                              "'"));
+      }
+      e->type = it->second;
+      continue;
+    }
+    if (key == "mode") {
+      if (value != "S" && value != "X") {
+        return Status::InvalidArgument(StrCat("bad mode '", value, "'"));
+      }
+      e->mode = value == "X" ? LockMode::kExclusive : LockMode::kShared;
+      continue;
+    }
+    if (key == "v" || key == "v2") {
+      double d = 0.0;
+      Status s = ParseDouble(value, &d);
+      if (!s.ok()) return s;
+      (key == "v" ? e->value : e->value2) = d;
+      continue;
+    }
+    int64_t n = 0;
+    Status s = ParseInt64(value, &n);
+    if (!s.ok()) return Status::InvalidArgument(StrCat(key, ": ", s.message()));
+    if (key == "t") e->time = n;
+    else if (key == "txn") e->txn = n;
+    else if (key == "inc") e->incarnation = static_cast<int32_t>(n);
+    else if (key == "file") e->file = static_cast<FileId>(n);
+    else if (key == "node") e->node = static_cast<NodeId>(n);
+    else if (key == "step") e->step = static_cast<int32_t>(n);
+    else if (key == "arg") e->arg = static_cast<int32_t>(n);
+    else return Status::InvalidArgument(StrCat("unknown key '", key, "'"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TraceEvent> ParseEventJson(const std::string& line) {
+  std::map<std::string, std::string> kv;
+  Status s = ParseFlatObject(line, &kv);
+  if (!s.ok()) return s;
+  if (kv.find("type") == kv.end()) {
+    return Status::InvalidArgument("event line without \"type\"");
+  }
+  TraceEvent e;
+  s = EventFromFields(kv, &e);
+  if (!s.ok()) return s;
+  return e;
+}
+
+Status ReadJsonlTrace(const std::string& path, ParsedTrace* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  *out = ParsedTrace{};
+  std::string line;
+  size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::map<std::string, std::string> kv;
+    Status s = ParseFlatObject(line, &kv);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", line_no, ": ", s.message()));
+    }
+    if (!header_seen) {
+      auto it = kv.find("schema");
+      if (it == kv.end() || it->second != kTraceSchemaVersion) {
+        return Status::InvalidArgument(
+            StrCat(path, ": missing or unsupported schema (want ",
+                   kTraceSchemaVersion, ")"));
+      }
+      header_seen = true;
+      if (kv.count("scheduler")) out->meta.scheduler = kv["scheduler"];
+      int64_t n = 0;
+      if (kv.count("num_nodes") && ParseInt64(kv["num_nodes"], &n).ok()) {
+        out->meta.num_nodes = static_cast<int>(n);
+      }
+      if (kv.count("num_files") && ParseInt64(kv["num_files"], &n).ok()) {
+        out->meta.num_files = static_cast<int>(n);
+      }
+      if (kv.count("dd") && ParseInt64(kv["dd"], &n).ok()) {
+        out->meta.dd = static_cast<int>(n);
+      }
+      if (kv.count("seed") && ParseInt64(kv["seed"], &n).ok()) {
+        out->meta.seed = static_cast<uint64_t>(n);
+      }
+      continue;
+    }
+    auto type_it = kv.find("type");
+    if (type_it == kv.end()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", line_no, ": event without \"type\""));
+    }
+    if (type_it->second == "end") {
+      out->footer_seen = true;
+      int64_t n = 0;
+      if (kv.count("dropped") && ParseInt64(kv["dropped"], &n).ok()) {
+        out->dropped = static_cast<uint64_t>(n);
+      }
+      continue;
+    }
+    TraceEvent e;
+    Status es = EventFromFields(kv, &e);
+    if (!es.ok()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", line_no, ": ", es.message()));
+    }
+    out->events.push_back(e);
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument(StrCat(path, ": empty trace"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,33 @@
+#ifndef WTPG_SCHED_TRACE_TRACE_READER_H_
+#define WTPG_SCHED_TRACE_TRACE_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.h"
+#include "trace/trace_export.h"
+#include "util/status.h"
+
+namespace wtpgsched {
+
+// A JSONL trace parsed back into memory (see WriteJsonlTrace for the
+// format). Unknown event types and unknown keys are errors — the schema
+// line must match kTraceSchemaVersion, so a mismatch means a corrupt or
+// incompatible file, not a forward-compatibility case.
+struct ParsedTrace {
+  TraceMeta meta;
+  std::vector<TraceEvent> events;
+  // From the footer; zero when the footer is missing (truncated file).
+  uint64_t dropped = 0;
+  bool footer_seen = false;
+};
+
+// Parses one event line. Exposed for tests.
+StatusOr<TraceEvent> ParseEventJson(const std::string& line);
+
+Status ReadJsonlTrace(const std::string& path, ParsedTrace* out);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TRACE_TRACE_READER_H_

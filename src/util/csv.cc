@@ -1,13 +1,24 @@
 #include "util/csv.h"
 
+#include <cstdio>
+
 #include "util/string_util.h"
 
 namespace wtpgsched {
 
+CsvWriter::~CsvWriter() {
+  // Best effort: abandoning a writer without Close() still publishes the
+  // rows written so far (or loses them on rename failure, which a
+  // destructor cannot report).
+  (void)Close();
+}
+
 Status CsvWriter::Open(const std::string& path) {
-  out_.open(path, std::ios::out | std::ios::trunc);
+  path_ = path;
+  tmp_path_ = path + ".tmp";
+  out_.open(tmp_path_, std::ios::out | std::ios::trunc);
   if (!out_.is_open()) {
-    return Status::Internal(StrCat("cannot open ", path, " for writing"));
+    return Status::Internal(StrCat("cannot open ", tmp_path_, " for writing"));
   }
   return Status::Ok();
 }
@@ -39,8 +50,21 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
-void CsvWriter::Close() {
-  if (out_.is_open()) out_.close();
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::Ok();
+  out_.flush();
+  const bool good = out_.good();
+  out_.close();
+  if (!good) {
+    std::remove(tmp_path_.c_str());
+    return Status::Internal(StrCat("write to ", tmp_path_, " failed"));
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::Internal(
+        StrCat("cannot rename ", tmp_path_, " to ", path_));
+  }
+  return Status::Ok();
 }
 
 }  // namespace wtpgsched

@@ -11,11 +11,21 @@ namespace wtpgsched {
 
 // Tiny CSV writer used by the experiment harness to dump series/tables for
 // external plotting. Fields containing separators or quotes are quoted.
+//
+// Writes go through `path + ".tmp"` and are renamed onto `path` by Close(),
+// so readers polling the output (plot watchers, sweep consumers) never see a
+// partially written file; an interrupted run leaves the previous version
+// intact.
 class CsvWriter {
  public:
-  // Opens `path` for writing (truncating). Check Open()'s status before use.
   CsvWriter() = default;
+  ~CsvWriter();
 
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Opens the temporary file for writing (truncating). Check Open()'s
+  // status before use.
   Status Open(const std::string& path);
 
   // Writes one row. Each field is escaped as needed.
@@ -24,7 +34,10 @@ class CsvWriter {
   // Convenience: header row then delegates to WriteRow for data.
   void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
 
-  void Close();
+  // Flushes, closes, and renames the temporary file into place. Returns an
+  // error if the stream went bad or the rename failed (the temporary is
+  // removed in that case). No-op when already closed.
+  Status Close();
 
   bool is_open() const { return out_.is_open(); }
 
@@ -32,6 +45,8 @@ class CsvWriter {
 
  private:
   std::ofstream out_;
+  std::string path_;
+  std::string tmp_path_;
 };
 
 }  // namespace wtpgsched

@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include <cctype>
+
 namespace wtpgsched {
 namespace {
 
@@ -23,6 +25,26 @@ const char* LevelName(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal_logging {
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 namespace wtpgsched {
 
@@ -12,6 +13,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 // Process-wide minimum level; messages below it are dropped.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Parses "debug" / "info" / "warning" (or "warn") / "error",
+// case-insensitively, into `out`. Returns false on anything else. CLI
+// drivers use this for their --log-level flag.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
 
 namespace internal_logging {
 

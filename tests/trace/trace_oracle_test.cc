@@ -1,0 +1,208 @@
+// Tests of the post-hoc trace oracles: the serialization-order check and
+// the wait-time decomposition, on hand-built event sequences and on full
+// machine runs with tracing enabled.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "trace/trace_analysis.h"
+
+namespace wtpgsched {
+namespace {
+
+TraceEvent Access(SimTime t, TxnId txn, FileId file, LockMode mode,
+                  int32_t incarnation = 0) {
+  return TraceEvent{.time = t,
+                    .type = TraceEventType::kDataAccess,
+                    .txn = txn,
+                    .incarnation = incarnation,
+                    .file = file,
+                    .mode = mode};
+}
+
+TraceEvent Commit(SimTime t, TxnId txn, int32_t incarnation = 0) {
+  return TraceEvent{.time = t,
+                    .type = TraceEventType::kCommit,
+                    .txn = txn,
+                    .incarnation = incarnation};
+}
+
+TEST(TraceOracleTest, SerializableSequencePasses) {
+  // T1 precedes T2 on both files: a clean serial order T1 < T2.
+  const std::vector<TraceEvent> events = {
+      Access(100, 1, 0, LockMode::kExclusive),
+      Access(150, 1, 1, LockMode::kExclusive),
+      Access(200, 2, 0, LockMode::kExclusive),
+      Access(250, 2, 1, LockMode::kExclusive),
+      Commit(300, 1),
+      Commit(350, 2),
+  };
+  const SerializabilityResult result = CheckTraceSerializable(events);
+  EXPECT_TRUE(result.serializable) << result.ToString();
+  EXPECT_TRUE(result.cycle.empty());
+}
+
+TEST(TraceOracleTest, SharedAccessesDoNotConflict) {
+  // Interleaved reads of the same file in both orders: no conflict edge.
+  const std::vector<TraceEvent> events = {
+      Access(100, 1, 0, LockMode::kShared),
+      Access(200, 2, 0, LockMode::kShared),
+      Access(300, 2, 1, LockMode::kShared),
+      Access(400, 1, 1, LockMode::kShared),
+      Commit(500, 1),
+      Commit(600, 2),
+  };
+  EXPECT_TRUE(CheckTraceSerializable(events).serializable);
+}
+
+TEST(TraceOracleTest, CyclicSequenceFailsWithWitness) {
+  // T1 -> T2 on file 0 and T2 -> T1 on file 1: the classic 2-cycle.
+  const std::vector<TraceEvent> events = {
+      Access(100, 1, 0, LockMode::kExclusive),
+      Access(200, 2, 1, LockMode::kExclusive),
+      Access(300, 2, 0, LockMode::kExclusive),
+      Access(400, 1, 1, LockMode::kExclusive),
+      Commit(500, 2),
+      Commit(600, 1),
+  };
+  const SerializabilityResult result = CheckTraceSerializable(events);
+  EXPECT_FALSE(result.serializable);
+  ASSERT_FALSE(result.cycle.empty());
+  EXPECT_NE(std::find(result.cycle.begin(), result.cycle.end(), TxnId{1}),
+            result.cycle.end());
+  EXPECT_NE(std::find(result.cycle.begin(), result.cycle.end(), TxnId{2}),
+            result.cycle.end());
+  EXPECT_NE(result.ToString().find("NOT serializable"), std::string::npos);
+}
+
+TEST(TraceOracleTest, UncommittedTransactionsAreIgnored) {
+  // Same cycle as above, but T2 never commits — only the committed
+  // projection counts.
+  const std::vector<TraceEvent> events = {
+      Access(100, 1, 0, LockMode::kExclusive),
+      Access(200, 2, 1, LockMode::kExclusive),
+      Access(300, 2, 0, LockMode::kExclusive),
+      Access(400, 1, 1, LockMode::kExclusive),
+      Commit(600, 1),
+  };
+  EXPECT_TRUE(CheckTraceSerializable(events).serializable);
+}
+
+TEST(TraceOracleTest, AbortedIncarnationsAreIgnored) {
+  // T1's incarnation 0 touched file 1 before aborting; only incarnation 1
+  // committed. Counting the dead incarnation's access would close a cycle.
+  const std::vector<TraceEvent> events = {
+      Access(50, 1, 1, LockMode::kExclusive, /*incarnation=*/0),
+      Access(100, 2, 1, LockMode::kExclusive),
+      Access(150, 2, 0, LockMode::kExclusive),
+      Access(200, 1, 0, LockMode::kExclusive, /*incarnation=*/1),
+      Commit(300, 2),
+      Commit(400, 1, /*incarnation=*/1),
+  };
+  EXPECT_TRUE(CheckTraceSerializable(events).serializable);
+}
+
+// --- Full machine runs with tracing enabled ---
+
+SimConfig TracedConfig(SchedulerKind kind) {
+  SimConfig c;
+  c.scheduler = kind;
+  c.num_files = 16;
+  c.dd = 1;
+  // A contended burst: 8 transactions arriving ~2/s against 1 s/object
+  // scans forces real conflicts at every scheduler.
+  c.arrival_rate_tps = 2.0;
+  c.max_arrivals = 8;
+  c.horizon_ms = 2'000'000;
+  c.seed = 17;
+  c.trace_enabled = true;
+  c.trace_capacity = 1 << 16;
+  return c;
+}
+
+TEST(TraceOracleTest, EverySchedulerExceptNodcYieldsAcyclicTraces) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kAsl, SchedulerKind::kC2pl, SchedulerKind::kOpt,
+        SchedulerKind::kGow, SchedulerKind::kLow, SchedulerKind::kLowLb,
+        SchedulerKind::kTwoPl}) {
+    Machine m(TracedConfig(kind), Pattern::Experiment1(16));
+    const RunStats stats = m.Run();
+    const std::vector<TraceEvent> events = m.trace().Snapshot();
+    ASSERT_FALSE(events.empty()) << SchedulerKindName(kind);
+    EXPECT_EQ(m.trace().dropped(), 0u) << SchedulerKindName(kind);
+    // Every commit the stats saw is in the trace.
+    EXPECT_EQ(m.trace().type_count(TraceEventType::kCommit),
+              stats.completions)
+        << SchedulerKindName(kind);
+    const SerializabilityResult result = CheckTraceSerializable(events);
+    EXPECT_TRUE(result.serializable)
+        << SchedulerKindName(kind) << ": " << result.ToString();
+  }
+}
+
+TEST(TraceOracleTest, SummaryReconcilesWithRunStats) {
+  SimConfig c = TracedConfig(SchedulerKind::kLow);
+  c.arrival_rate_tps = 1.2;
+  c.max_arrivals = 30;
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  ASSERT_GT(stats.completions, 0u);
+  ASSERT_EQ(m.trace().dropped(), 0u);
+
+  const TraceSummary summary = SummarizeTrace(m.trace().Snapshot());
+  EXPECT_EQ(summary.arrived, stats.arrivals);
+  EXPECT_EQ(summary.committed, stats.completions);
+  ASSERT_EQ(summary.txns.size(), stats.completions);
+  // The trace-derived mean response matches the collector's (both are
+  // arrival -> commit over the same committed set).
+  EXPECT_NEAR(summary.mean_response_s, stats.mean_response_s, 1e-6);
+  // The decomposition partitions the response time.
+  for (const TxnBreakdown& b : summary.txns) {
+    EXPECT_NEAR(b.admission_wait_s + b.lock_wait_s + b.execution_s +
+                    b.other_s,
+                b.response_s, 1e-9)
+        << "txn " << b.txn;
+    EXPECT_GE(b.lock_wait_s, 0.0);
+    EXPECT_GE(b.execution_s, 0.0);
+  }
+  // At this contention level LOW must actually wait on locks somewhere.
+  EXPECT_GT(summary.mean_lock_wait_s, 0.0);
+  EXPECT_GT(summary.mean_execution_s, 0.0);
+}
+
+TEST(TraceOracleTest, RunStatsCountersIncludeTraceAndSchedulerCounts) {
+  Machine m(TracedConfig(SchedulerKind::kLow), Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : stats.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter '" << name << "' not registered";
+    return 0;
+  };
+  EXPECT_EQ(counter("trace.commit"), stats.completions);
+  EXPECT_EQ(counter("trace.arrive"), stats.arrivals);
+  // The scheduler exported its decision counters into the same registry.
+  counter("low.k_rejections");
+  counter("low.deadlock_delays");
+  // The legacy fields mirror the registry.
+  EXPECT_EQ(counter("blocked"), stats.blocked);
+}
+
+TEST(TraceOracleTest, TracingDisabledLeavesNoTraceCounters) {
+  SimConfig c = TracedConfig(SchedulerKind::kLow);
+  c.trace_enabled = false;
+  Machine m(c, Pattern::Experiment1(16));
+  const RunStats stats = m.Run();
+  EXPECT_EQ(m.trace().total_recorded(), 0u);
+  for (const auto& [name, value] : stats.counters) {
+    EXPECT_NE(name.rfind("trace.", 0), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wtpgsched

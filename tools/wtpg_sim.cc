@@ -15,7 +15,9 @@
 
 #include "analysis/serializability.h"
 #include "machine/machine.h"
+#include "trace/trace_export.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "workload/pattern_parser.h"
 #include "wtpg/dot.h"
 
@@ -60,6 +62,14 @@ int main(int argc, char** argv) {
                   "dump the scheduler's WTPG as Graphviz DOT to this file");
   flags.AddDouble("dot-at-ms", 100'000,
                   "simulated time of the WTPG snapshot for --dot-out");
+  flags.AddString("trace-jsonl", "",
+                  "record an event trace and write it as JSONL to this file");
+  flags.AddString("trace-chrome", "",
+                  "record an event trace and write Chrome trace-event JSON "
+                  "(Perfetto-loadable) to this file");
+  flags.AddInt("trace-capacity", 1 << 20,
+               "trace ring-buffer capacity (most recent events kept)");
+  flags.AddString("log-level", "warning", "debug|info|warning|error");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc, argv);
@@ -72,6 +82,14 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Help().c_str());
     return 0;
   }
+
+  LogLevel log_level;
+  if (!ParseLogLevel(flags.GetString("log-level"), &log_level)) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n",
+                 flags.GetString("log-level").c_str());
+    return 2;
+  }
+  SetLogLevel(log_level);
 
   auto it = SchedulerNames().find(flags.GetString("scheduler"));
   if (it == SchedulerNames().end()) {
@@ -97,6 +115,13 @@ int main(int argc, char** argv) {
   }
   if (!flags.GetString("timeline-csv").empty()) {
     config.timeline_sample_ms = flags.GetDouble("timeline-ms");
+  }
+  const std::string trace_jsonl = flags.GetString("trace-jsonl");
+  const std::string trace_chrome = flags.GetString("trace-chrome");
+  if (!trace_jsonl.empty() || !trace_chrome.empty()) {
+    config.trace_enabled = true;
+    config.trace_capacity =
+        static_cast<uint64_t>(flags.GetInt("trace-capacity"));
   }
   status = config.Validate();
   if (!status.ok()) {
@@ -142,6 +167,32 @@ int main(int argc, char** argv) {
   }
 
   const RunStats stats = machine.Run();
+
+  if (!trace_jsonl.empty() || !trace_chrome.empty()) {
+    TraceMeta meta;
+    meta.scheduler = machine.scheduler().name();
+    meta.num_nodes = config.num_nodes;
+    meta.num_files = config.num_files;
+    meta.dd = config.dd;
+    meta.seed = config.seed;
+    const std::vector<TraceEvent> events = machine.trace().Snapshot();
+    if (!trace_jsonl.empty()) {
+      const Status written = WriteJsonlTrace(events, meta, stats.counters,
+                                             machine.trace().dropped(),
+                                             trace_jsonl);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace-jsonl: %s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!trace_chrome.empty()) {
+      const Status written = WriteChromeTrace(events, meta, trace_chrome);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace-chrome: %s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+  }
 
   if (!flags.GetString("dot-out").empty()) {
     std::FILE* f = std::fopen(flags.GetString("dot-out").c_str(), "w");

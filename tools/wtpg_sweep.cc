@@ -15,6 +15,7 @@
 #include "driver/sweep.h"
 #include "machine/config.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "workload/pattern_parser.h"
 
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
   flags.AddInt("iters", 9, "bisection iterations (rt-target mode)");
   flags.AddInt("seed", 1, "base RNG seed");
   flags.AddString("csv", "", "also write the table to this CSV file");
+  flags.AddString("log-level", "warning", "debug|info|warning|error");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc, argv);
@@ -68,6 +70,14 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Help().c_str());
     return 0;
   }
+
+  LogLevel log_level;
+  if (!ParseLogLevel(flags.GetString("log-level"), &log_level)) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n",
+                 flags.GetString("log-level").c_str());
+    return 2;
+  }
+  SetLogLevel(log_level);
 
   static const std::map<std::string, SchedulerKind> kNames = {
       {"nodc", SchedulerKind::kNodc}, {"asl", SchedulerKind::kAsl},
