@@ -1,0 +1,129 @@
+// bench_harness — wall-clock baseline for the parallel experiment harness.
+//
+// Times one fixed multi-scheduler arrival-rate sweep (the Fig.-8 rate grid)
+// at --jobs=1 and --jobs=N, verifies the aggregates are byte-identical, and
+// writes BENCH_harness.json so future PRs can compare against today's
+// numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "driver/report.h"
+#include "driver/sweep.h"
+#include "machine/config.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+using namespace wtpgsched;
+
+namespace {
+
+constexpr SchedulerKind kSchedulers[] = {
+    SchedulerKind::kLow, SchedulerKind::kGow, SchedulerKind::kC2pl};
+
+// One full sweep (all schedulers x rates x seeds) at the given worker
+// count; returns concatenated AggregateResult JSON for identity checks.
+std::string RunSweep(const std::vector<double>& rates, int seeds,
+                     double horizon_ms, int jobs) {
+  std::string combined;
+  for (SchedulerKind kind : kSchedulers) {
+    SimConfig config;
+    config.scheduler = kind;
+    config.horizon_ms = horizon_ms;
+    for (const SweepPoint& p :
+         SweepArrivalRates(config, Pattern::Experiment1(config.num_files),
+                           rates, seeds, jobs)) {
+      combined += p.result.ToJson();
+      combined += '\n';
+    }
+  }
+  return combined;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt("seeds", 4, "seeds per data point");
+  flags.AddInt("jobs", 0,
+               "parallel worker count to compare against jobs=1 "
+               "(0 = hardware concurrency)");
+  flags.AddDouble("horizon-ms", 300'000, "simulated milliseconds per replica");
+  flags.AddString("out", "BENCH_harness.json", "result file");
+  flags.AddBool("help", false, "print usage");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+
+  const std::vector<double> rates = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4};
+  const int seeds = static_cast<int>(flags.GetInt("seeds"));
+  const double horizon_ms = flags.GetDouble("horizon-ms");
+  int jobs = static_cast<int>(flags.GetInt("jobs"));
+  if (jobs <= 0) jobs = ThreadPool::HardwareThreads();
+  const int replicas = static_cast<int>(std::size(kSchedulers) *
+                                        rates.size()) * seeds;
+
+  std::printf("harness bench: %zu schedulers x %zu rates x %d seeds = %d "
+              "replicas, horizon %.0f ms\n",
+              std::size(kSchedulers), rates.size(), seeds, replicas,
+              horizon_ms);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string serial = RunSweep(rates, seeds, horizon_ms, /*jobs=*/1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::string parallel = RunSweep(rates, seeds, horizon_ms, jobs);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double wall_serial_s = Seconds(t0, t1);
+  const double wall_parallel_s = Seconds(t1, t2);
+  const bool identical = serial == parallel;
+  const double speedup =
+      wall_parallel_s > 0.0 ? wall_serial_s / wall_parallel_s : 0.0;
+
+  TablePrinter table({"jobs", "wall(s)", "speedup", "identical"});
+  table.AddRow({"1", FormatDouble(wall_serial_s, 2), "1.00", "-"});
+  table.AddRow({StrCat(jobs), FormatDouble(wall_parallel_s, 2),
+                FormatDouble(speedup, 2), identical ? "yes" : "NO"});
+  table.Print();
+
+  JsonWriter json;
+  json.Add("bench", "harness_sweep")
+      .Add("replicas", replicas)
+      .Add("schedulers", static_cast<int>(std::size(kSchedulers)))
+      .Add("rates", static_cast<int>(rates.size()))
+      .Add("seeds", seeds)
+      .Add("horizon_ms", horizon_ms)
+      .Add("hardware_threads", ThreadPool::HardwareThreads())
+      .Add("jobs", jobs)
+      .Add("wall_s_jobs1", wall_serial_s)
+      .Add("wall_s_jobsN", wall_parallel_s)
+      .Add("speedup", speedup)
+      .Add("outputs_identical", identical);
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  out << json.ToString() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("-> %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}

@@ -9,16 +9,31 @@
 namespace wtpgsched {
 namespace {
 
+// Env lookups with strict parsing: a malformed value is reported and the
+// fallback kept (atof/atoi would silently turn "1e" or "fast" into 0 and
+// quietly wreck a sweep).
 double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || value[0] == '\0') return fallback;
-  return std::atof(value);
+  double parsed = 0.0;
+  if (!ParseDouble(value, &parsed)) {
+    WTPG_LOG(Warning) << name << "='" << value
+                      << "' is not a number; using default " << fallback;
+    return fallback;
+  }
+  return parsed;
 }
 
 int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || value[0] == '\0') return fallback;
-  return std::atoi(value);
+  int64_t parsed = 0;
+  if (!ParseInt64(value, &parsed)) {
+    WTPG_LOG(Warning) << name << "='" << value
+                      << "' is not an integer; using default " << fallback;
+    return fallback;
+  }
+  return static_cast<int>(parsed);
 }
 
 }  // namespace
@@ -56,6 +71,7 @@ BenchOptions GetBenchOptions() {
   options.rt_iters = EnvInt("WTPG_RT_ITERS", options.rt_iters);
   options.rt_tol_s = EnvDouble("WTPG_RT_TOL", options.rt_tol_s);
   options.horizon_ms = EnvDouble("WTPG_HORIZON_MS", options.horizon_ms);
+  options.jobs = EnvInt("WTPG_JOBS", options.jobs);
   const char* dir = std::getenv("WTPG_CSV_DIR");
   if (dir != nullptr) options.csv_dir = dir;
   return options;
@@ -81,7 +97,7 @@ OperatingPoint FindRt70(SchedulerKind kind, int num_files, int dd,
   config.horizon_ms = options.horizon_ms;
   return FindRateForResponseTime(config, pattern, kRtTargetSeconds, kLambdaLo,
                                  kLambdaHi, options.seeds, options.rt_iters,
-                                 options.rt_tol_s);
+                                 options.rt_tol_s, options.jobs);
 }
 
 AggregateResult RunAtRate(SchedulerKind kind, int num_files, int dd,
@@ -90,7 +106,7 @@ AggregateResult RunAtRate(SchedulerKind kind, int num_files, int dd,
   SimConfig config =
       MakeConfig(kind, num_files, dd, arrival_rate_tps, error_sigma);
   config.horizon_ms = options.horizon_ms;
-  return RunAggregate(config, pattern, options.seeds);
+  return RunAggregate(config, pattern, options.seeds, options.jobs);
 }
 
 MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
@@ -99,7 +115,8 @@ MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
   SimConfig config = MakeConfig(SchedulerKind::kC2pl, num_files, dd,
                                 arrival_rate_tps, error_sigma);
   config.horizon_ms = options.horizon_ms;
-  return TuneMpl(config, pattern, DefaultMplCandidates(), options.seeds);
+  return TuneMpl(config, pattern, DefaultMplCandidates(), options.seeds,
+                 options.jobs);
 }
 
 }  // namespace wtpgsched

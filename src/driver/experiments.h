@@ -34,13 +34,19 @@ SimConfig MakeConfig(SchedulerKind kind, int num_files, int dd,
 //   WTPG_RT_TOL    bisection tolerance, seconds  (default 2.5)
 //   WTPG_HORIZON_MS simulation horizon           (default 2,000,000)
 //   WTPG_CSV_DIR   CSV output directory          (default "results")
+//   WTPG_JOBS      replica worker threads        (default: hardware)
 //   WTPG_FAST=1    quick mode: 1 seed, 6 iters, 500k ms horizon
+// Malformed numeric values are reported (warning log) and the default kept,
+// instead of atoi-style silent zeroes.
 struct BenchOptions {
   int seeds = 1;  // The paper reports single runs; raise via WTPG_SEEDS.
   int rt_iters = 9;
   double rt_tol_s = 2.5;
   double horizon_ms = 2'000'000;
   std::string csv_dir = "results";
+  // Worker threads for the replica fan-out (0 = DefaultJobs(): WTPG_JOBS
+  // env or hardware concurrency). Results are identical for any value.
+  int jobs = 0;
 };
 
 BenchOptions GetBenchOptions();

@@ -1,24 +1,25 @@
 #include "driver/sim_run.h"
 
+#include <cstdlib>
+
 #include "machine/machine.h"
+#include "metrics/counters.h"
+#include "util/json_writer.h"
 #include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace wtpgsched {
+namespace {
 
-RunStats RunSimulation(const SimConfig& config, const Pattern& pattern) {
-  Machine machine(config, pattern);
-  return machine.Run();
-}
-
-AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
-                             int num_seeds) {
-  WTPG_CHECK_GE(num_seeds, 1);
+// Serial left-to-right reduction over replica stats; the accumulation order
+// is the submission order regardless of which worker ran which replica, so
+// the result is bit-identical to the serial path.
+AggregateResult Reduce(const std::vector<RunStats>& replicas) {
   AggregateResult agg;
-  agg.num_seeds = num_seeds;
-  const uint64_t base_seed = config.seed;
-  for (int i = 0; i < num_seeds; ++i) {
-    config.seed = base_seed + static_cast<uint64_t>(i);
-    const RunStats stats = RunSimulation(config, pattern);
+  agg.num_seeds = static_cast<int>(replicas.size());
+  CounterRegistry merged;
+  for (const RunStats& stats : replicas) {
     agg.mean_response_s += stats.mean_response_s;
     agg.throughput_tps += stats.throughput_tps;
     agg.completions += static_cast<double>(stats.completions_measured);
@@ -28,8 +29,9 @@ AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
     agg.start_rejections += static_cast<double>(stats.start_rejections);
     agg.cn_utilization += stats.cn_utilization;
     agg.mean_dpn_utilization += stats.mean_dpn_utilization;
+    merged.Merge(stats.counters);
   }
-  const double n = static_cast<double>(num_seeds);
+  const double n = static_cast<double>(replicas.size());
   agg.mean_response_s /= n;
   agg.throughput_tps /= n;
   agg.completions /= n;
@@ -39,7 +41,90 @@ AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
   agg.start_rejections /= n;
   agg.cn_utilization /= n;
   agg.mean_dpn_utilization /= n;
+  agg.counters = merged.Entries();
   return agg;
+}
+
+}  // namespace
+
+RunStats RunSimulation(const SimConfig& config, const Pattern& pattern) {
+  Machine machine(config, pattern);
+  return machine.Run();
+}
+
+int DefaultJobs() {
+  static const int jobs = [] {
+    const char* env = std::getenv("WTPG_JOBS");
+    if (env != nullptr && env[0] != '\0') {
+      int64_t value = 0;
+      if (ParseInt64(env, &value) && value >= 1) {
+        return static_cast<int>(value);
+      }
+      WTPG_LOG(Warning) << "WTPG_JOBS='" << env
+                        << "' is not a positive integer; using hardware "
+                           "concurrency";
+    }
+    return ThreadPool::HardwareThreads();
+  }();
+  return jobs;
+}
+
+int ResolveJobs(int jobs) { return jobs >= 1 ? jobs : DefaultJobs(); }
+
+std::vector<RunStats> RunReplicas(const std::vector<SimConfig>& configs,
+                                  const Pattern& pattern, int jobs) {
+  std::vector<RunStats> results(configs.size());
+  const int workers = ResolveJobs(jobs);
+  ParallelFor(workers, configs.size(), [&](size_t i) {
+    results[i] = RunSimulation(configs[i], pattern);
+  });
+  return results;
+}
+
+AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
+                             int num_seeds, int jobs) {
+  return RunAggregates({config}, pattern, num_seeds, jobs).front();
+}
+
+std::vector<AggregateResult> RunAggregates(const std::vector<SimConfig>& bases,
+                                           const Pattern& pattern,
+                                           int num_seeds, int jobs) {
+  WTPG_CHECK_GE(num_seeds, 1);
+  std::vector<SimConfig> replicas;
+  replicas.reserve(bases.size() * static_cast<size_t>(num_seeds));
+  for (const SimConfig& base : bases) {
+    for (int i = 0; i < num_seeds; ++i) {
+      SimConfig config = base;
+      config.seed = base.seed + static_cast<uint64_t>(i);
+      replicas.push_back(config);
+    }
+  }
+  const std::vector<RunStats> stats = RunReplicas(replicas, pattern, jobs);
+  std::vector<AggregateResult> results;
+  results.reserve(bases.size());
+  for (size_t b = 0; b < bases.size(); ++b) {
+    const auto first = stats.begin() + static_cast<ptrdiff_t>(b) * num_seeds;
+    results.push_back(Reduce({first, first + num_seeds}));
+  }
+  return results;
+}
+
+std::string AggregateResult::ToJson() const {
+  JsonWriter json;
+  json.Add("num_seeds", num_seeds)
+      .Add("mean_response_s", mean_response_s)
+      .Add("throughput_tps", throughput_tps)
+      .Add("completions", completions)
+      .Add("restarts", restarts)
+      .Add("blocked", blocked)
+      .Add("delayed", delayed)
+      .Add("start_rejections", start_rejections)
+      .Add("cn_utilization", cn_utilization)
+      .Add("mean_dpn_utilization", mean_dpn_utilization);
+  for (const auto& [name, value] : counters) {
+    json.Add(StrCat("counters.", name), value);
+  }
+  return json.ToString();
 }
 
 }  // namespace wtpgsched

@@ -10,32 +10,42 @@ OperatingPoint FindRateForResponseTime(const SimConfig& base,
                                        const Pattern& pattern,
                                        double target_s, double lo_tps,
                                        double hi_tps, int num_seeds,
-                                       int iters, double tol_s) {
+                                       int iters, double tol_s, int jobs) {
   WTPG_CHECK_GT(lo_tps, 0.0);
   WTPG_CHECK_GT(hi_tps, lo_tps);
 
-  auto evaluate = [&](double rate) {
+  auto at_rate = [&](double rate) {
     SimConfig config = base;
     config.arrival_rate_tps = rate;
-    return RunAggregate(config, pattern, num_seeds);
+    return config;
+  };
+  auto evaluate = [&](double rate) {
+    return RunAggregate(at_rate(rate), pattern, num_seeds, jobs);
+  };
+  auto fill = [&](OperatingPoint* point, double rate,
+                  const AggregateResult& at) {
+    point->lambda_tps = rate;
+    point->mean_response_s = at.mean_response_s;
+    point->throughput_tps = at.throughput_tps;
+    point->num_seeds = at.num_seeds;
   };
 
   OperatingPoint point;
   // Check the brackets first: the curve may sit entirely below or above the
-  // target within [lo, hi].
-  AggregateResult at_hi = evaluate(hi_tps);
+  // target within [lo, hi]. Both ends are independent, so they evaluate as
+  // one batch (seeds within each probe fan out too).
+  const std::vector<AggregateResult> brackets =
+      RunAggregates({at_rate(hi_tps), at_rate(lo_tps)}, pattern, num_seeds,
+                    jobs);
+  const AggregateResult& at_hi = brackets[0];
+  const AggregateResult& at_lo = brackets[1];
   if (at_hi.mean_response_s <= target_s) {
-    point.lambda_tps = hi_tps;
-    point.mean_response_s = at_hi.mean_response_s;
-    point.throughput_tps = at_hi.throughput_tps;
+    fill(&point, hi_tps, at_hi);
     point.converged = false;
     return point;
   }
-  AggregateResult at_lo = evaluate(lo_tps);
   if (at_lo.mean_response_s >= target_s) {
-    point.lambda_tps = lo_tps;
-    point.mean_response_s = at_lo.mean_response_s;
-    point.throughput_tps = at_lo.throughput_tps;
+    fill(&point, lo_tps, at_lo);
     point.converged = false;
     return point;
   }
@@ -59,9 +69,7 @@ OperatingPoint FindRateForResponseTime(const SimConfig& base,
       hi = mid;
     }
   }
-  point.lambda_tps = best_rate;
-  point.mean_response_s = best.mean_response_s;
-  point.throughput_tps = best.throughput_tps;
+  fill(&point, best_rate, best);
   point.converged = true;
   return point;
 }
@@ -69,29 +77,43 @@ OperatingPoint FindRateForResponseTime(const SimConfig& base,
 std::vector<SweepPoint> SweepArrivalRates(const SimConfig& base,
                                           const Pattern& pattern,
                                           const std::vector<double>& rates,
-                                          int num_seeds) {
-  std::vector<SweepPoint> points;
-  points.reserve(rates.size());
+                                          int num_seeds, int jobs) {
+  std::vector<SimConfig> bases;
+  bases.reserve(rates.size());
   for (double rate : rates) {
     SimConfig config = base;
     config.arrival_rate_tps = rate;
-    points.push_back(SweepPoint{rate, RunAggregate(config, pattern, num_seeds)});
+    bases.push_back(config);
+  }
+  const std::vector<AggregateResult> results =
+      RunAggregates(bases, pattern, num_seeds, jobs);
+  std::vector<SweepPoint> points;
+  points.reserve(rates.size());
+  for (size_t i = 0; i < rates.size(); ++i) {
+    points.push_back(SweepPoint{rates[i], results[i]});
   }
   return points;
 }
 
 MplChoice TuneMpl(const SimConfig& base, const Pattern& pattern,
-                  const std::vector<int>& candidates, int num_seeds) {
+                  const std::vector<int>& candidates, int num_seeds,
+                  int jobs) {
   WTPG_CHECK(!candidates.empty());
-  MplChoice best;
-  bool first = true;
+  std::vector<SimConfig> bases;
+  bases.reserve(candidates.size());
   for (int mpl : candidates) {
     SimConfig config = base;
     config.mpl = mpl;
-    const AggregateResult result = RunAggregate(config, pattern, num_seeds);
-    if (first || result.mean_response_s < best.result.mean_response_s) {
-      best.mpl = mpl;
-      best.result = result;
+    bases.push_back(config);
+  }
+  const std::vector<AggregateResult> results =
+      RunAggregates(bases, pattern, num_seeds, jobs);
+  MplChoice best;
+  bool first = true;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (first || results[i].mean_response_s < best.result.mean_response_s) {
+      best.mpl = candidates[i];
+      best.result = results[i];
       first = false;
     }
   }

@@ -9,6 +9,10 @@
 
 namespace wtpgsched {
 
+// All entry points take a `jobs` worker count (0 = DefaultJobs()) and fan
+// their independent replicas out through RunReplicas; results are
+// bit-identical for any jobs value (see driver/sim_run.h).
+
 // The operating point where a scheduler's mean response time reaches a
 // target (the paper reads "throughput at Resp.Time = 70 sec" off the
 // response-time curve).
@@ -16,6 +20,9 @@ struct OperatingPoint {
   double lambda_tps = 0.0;
   double mean_response_s = 0.0;
   double throughput_tps = 0.0;
+  // Seeds behind the reported figures — also on the non-converged bracket
+  // paths, which aggregate the same number of seeds as any other probe.
+  int num_seeds = 0;
   // False when the target is not bracketed by [lo, hi] (the returned point
   // is then the closer bracket end).
   bool converged = false;
@@ -23,33 +30,37 @@ struct OperatingPoint {
 
 // Bisects arrival rate in [lo_tps, hi_tps] until mean response time is
 // within `tol_s` of `target_s` (or `iters` halvings elapse). Response time
-// is monotone (noisily) increasing in arrival rate.
+// is monotone (noisily) increasing in arrival rate. The two bracket probes
+// run concurrently; within every probe the seeds fan out.
 OperatingPoint FindRateForResponseTime(const SimConfig& base,
                                        const Pattern& pattern,
                                        double target_s, double lo_tps,
                                        double hi_tps, int num_seeds,
-                                       int iters, double tol_s);
+                                       int iters, double tol_s, int jobs = 0);
 
 struct SweepPoint {
   double lambda_tps = 0.0;
   AggregateResult result;
 };
 
-// Runs the simulation at each arrival rate.
+// Runs the simulation at each arrival rate; all rate x seed replicas go
+// through one batch.
 std::vector<SweepPoint> SweepArrivalRates(const SimConfig& base,
                                           const Pattern& pattern,
                                           const std::vector<double>& rates,
-                                          int num_seeds);
+                                          int num_seeds, int jobs = 0);
 
 // C2PL+M: picks the MPL minimizing mean response time at the base arrival
-// rate ("the best C2PL to control multi-programming level").
+// rate ("the best C2PL to control multi-programming level"). All MPL
+// candidates are evaluated in one batch.
 struct MplChoice {
   int mpl = 0;
   AggregateResult result;
 };
 
 MplChoice TuneMpl(const SimConfig& base, const Pattern& pattern,
-                  const std::vector<int>& candidates, int num_seeds);
+                  const std::vector<int>& candidates, int num_seeds,
+                  int jobs = 0);
 
 // Default MPL candidate ladder for the tuner.
 std::vector<int> DefaultMplCandidates();

@@ -20,4 +20,9 @@ std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Entries()
   return {entries_.begin(), entries_.end()};
 }
 
+void CounterRegistry::Merge(
+    const std::vector<std::pair<std::string, uint64_t>>& entries) {
+  for (const auto& [name, value] : entries) Counter(name) += value;
+}
+
 }  // namespace wtpgsched

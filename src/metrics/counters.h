@@ -31,6 +31,13 @@ class CounterRegistry {
   // All counters in creation order.
   std::vector<std::pair<std::string, uint64_t>> Entries() const;
 
+  // Adds `entries` (e.g. another run's RunStats::counters snapshot) into
+  // this registry. New names register in the order they appear, so merging
+  // replica snapshots in submission order yields the same name order for
+  // any worker count — the parallel harness relies on this for bit-identical
+  // aggregate output (see driver/sim_run.h).
+  void Merge(const std::vector<std::pair<std::string, uint64_t>>& entries);
+
   size_t size() const { return entries_.size(); }
 
  private:

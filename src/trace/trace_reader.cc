@@ -115,19 +115,16 @@ const std::unordered_map<std::string, TraceEventType>& TypeByName() {
   return *map;
 }
 
-Status ParseInt64(const std::string& s, int64_t* out) {
-  char* end = nullptr;
-  *out = std::strtoll(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') {
+// Status-returning shims over the shared strict parsers in util/string_util.
+Status ParseIntField(const std::string& s, int64_t* out) {
+  if (!ParseInt64(s, out)) {
     return Status::InvalidArgument(StrCat("bad integer '", s, "'"));
   }
   return Status::Ok();
 }
 
-Status ParseDouble(const std::string& s, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0') {
+Status ParseDoubleField(const std::string& s, double* out) {
+  if (!ParseDouble(s, out)) {
     return Status::InvalidArgument(StrCat("bad number '", s, "'"));
   }
   return Status::Ok();
@@ -155,13 +152,13 @@ Status EventFromFields(const std::map<std::string, std::string>& kv,
     }
     if (key == "v" || key == "v2") {
       double d = 0.0;
-      Status s = ParseDouble(value, &d);
+      Status s = ParseDoubleField(value, &d);
       if (!s.ok()) return s;
       (key == "v" ? e->value : e->value2) = d;
       continue;
     }
     int64_t n = 0;
-    Status s = ParseInt64(value, &n);
+    Status s = ParseIntField(value, &n);
     if (!s.ok()) return Status::InvalidArgument(StrCat(key, ": ", s.message()));
     if (key == "t") e->time = n;
     else if (key == "txn") e->txn = n;
@@ -218,16 +215,16 @@ Status ReadJsonlTrace(const std::string& path, ParsedTrace* out) {
       header_seen = true;
       if (kv.count("scheduler")) out->meta.scheduler = kv["scheduler"];
       int64_t n = 0;
-      if (kv.count("num_nodes") && ParseInt64(kv["num_nodes"], &n).ok()) {
+      if (kv.count("num_nodes") && ParseIntField(kv["num_nodes"], &n).ok()) {
         out->meta.num_nodes = static_cast<int>(n);
       }
-      if (kv.count("num_files") && ParseInt64(kv["num_files"], &n).ok()) {
+      if (kv.count("num_files") && ParseIntField(kv["num_files"], &n).ok()) {
         out->meta.num_files = static_cast<int>(n);
       }
-      if (kv.count("dd") && ParseInt64(kv["dd"], &n).ok()) {
+      if (kv.count("dd") && ParseIntField(kv["dd"], &n).ok()) {
         out->meta.dd = static_cast<int>(n);
       }
-      if (kv.count("seed") && ParseInt64(kv["seed"], &n).ok()) {
+      if (kv.count("seed") && ParseIntField(kv["seed"], &n).ok()) {
         out->meta.seed = static_cast<uint64_t>(n);
       }
       continue;
@@ -240,7 +237,7 @@ Status ReadJsonlTrace(const std::string& path, ParsedTrace* out) {
     if (type_it->second == "end") {
       out->footer_seen = true;
       int64_t n = 0;
-      if (kv.count("dropped") && ParseInt64(kv["dropped"], &n).ok()) {
+      if (kv.count("dropped") && ParseIntField(kv["dropped"], &n).ok()) {
         out->dropped = static_cast<uint64_t>(n);
       }
       continue;

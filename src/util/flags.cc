@@ -50,27 +50,22 @@ FlagParser& FlagParser::AddBool(const std::string& name, bool default_value,
 
 Status FlagParser::SetValue(Flag* flag, const std::string& name,
                             const std::string& value) {
-  char* end = nullptr;
   switch (flag->type) {
     case Type::kString:
       flag->string_value = value;
       return Status::Ok();
     case Type::kInt: {
-      const long long v = std::strtoll(value.c_str(), &end, 10);
-      if (end == value.c_str() || *end != '\0') {
+      if (!ParseInt64(value, &flag->int_value)) {
         return Status::InvalidArgument(
             StrCat("--", name, " expects an integer, got '", value, "'"));
       }
-      flag->int_value = v;
       return Status::Ok();
     }
     case Type::kDouble: {
-      const double v = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0') {
+      if (!ParseDouble(value, &flag->double_value)) {
         return Status::InvalidArgument(
             StrCat("--", name, " expects a number, got '", value, "'"));
       }
-      flag->double_value = v;
       return Status::Ok();
     }
     case Type::kBool:

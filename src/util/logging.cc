@@ -1,11 +1,14 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cctype>
 
 namespace wtpgsched {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Atomic so worker threads of the parallel experiment harness can log while
+// a driver adjusts the level (relaxed: the level is a filter, not a fence).
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,8 +26,10 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 bool ParseLogLevel(const std::string& name, LogLevel* out) {
   std::string lower;
@@ -54,7 +59,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level) {
+  if (level_ >= g_level.load(std::memory_order_relaxed)) {
     stream_ << "\n";
     std::cerr << stream_.str();
   }

@@ -1,9 +1,25 @@
 #include "util/string_util.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
 
 namespace wtpgsched {
+namespace {
+
+// True when every character in [begin, end) is whitespace.
+bool AllSpace(const char* begin, const char* end) {
+  for (const char* p = begin; p != end; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep) {
@@ -44,6 +60,66 @@ std::string PadLeft(const std::string& s, size_t width) {
 std::string PadRight(const std::string& s, size_t width) {
   if (s.size() >= width) return s;
   return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      fields.push_back(s.substr(start));
+      return fields;
+    }
+    fields.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || errno == ERANGE) return false;
+  if (!AllSpace(end, s.c_str() + s.size())) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || errno == ERANGE) return false;
+  if (!AllSpace(end, s.c_str() + s.size())) return false;
+  if (v < std::numeric_limits<int64_t>::min() ||
+      v > std::numeric_limits<int64_t>::max()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+Status ParseDoubleList(const std::string& s, char sep,
+                       std::vector<double>* out) {
+  std::vector<double> values;
+  const std::vector<std::string> fields = Split(s, sep);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    // Stray separators ("0.2,,0.4" or a trailing comma) are tolerated so
+    // existing invocations keep working; garbage is not.
+    if (fields[i].empty() || AllSpace(fields[i].data(),
+                                      fields[i].data() + fields[i].size())) {
+      continue;
+    }
+    double v = 0.0;
+    if (!ParseDouble(fields[i], &v)) {
+      return Status::InvalidArgument(StrCat("token ", i + 1, ": '", fields[i],
+                                            "' is not a number"));
+    }
+    values.push_back(v);
+  }
+  *out = std::move(values);
+  return Status::Ok();
 }
 
 }  // namespace wtpgsched

@@ -1,9 +1,12 @@
 #ifndef WTPG_SCHED_UTIL_STRING_UTIL_H_
 #define WTPG_SCHED_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace wtpgsched {
 
@@ -32,6 +35,23 @@ std::string FormatDouble(double value, int precision);
 // Left-pads / right-pads `s` with spaces to at least `width` characters.
 std::string PadLeft(const std::string& s, size_t width);
 std::string PadRight(const std::string& s, size_t width);
+
+// Splits `s` on `sep`. Empty fields are kept ("a,,b" -> {"a", "", "b"});
+// an empty input yields one empty field, matching the usual CSV reading.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// Strict whole-string numeric parsing (strtod / strtoll underneath, unlike
+// atof/atoi which silently return 0 on garbage). Surrounding whitespace is
+// allowed; empty strings, trailing junk ("1.5x", "0.2;0.4"), and
+// out-of-range values fail. On failure `*out` is untouched.
+bool ParseDouble(const std::string& s, double* out);
+bool ParseInt64(const std::string& s, int64_t* out);
+
+// Parses a `sep`-separated list of numbers ("0.2,0.4,1.2"). Every field
+// must parse; the error names the offending token so callers can surface
+// it ("--rates token 2: '0.4;0.6' is not a number").
+Status ParseDoubleList(const std::string& s, char sep,
+                       std::vector<double>* out);
 
 }  // namespace wtpgsched
 

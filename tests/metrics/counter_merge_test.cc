@@ -1,0 +1,77 @@
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/counters.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(CounterMergeTest, MergeAddsAndRegistersInOrder) {
+  CounterRegistry a;
+  a.Counter("blocked") += 3;
+  a.Counter("low.deadlock_delays") += 1;
+
+  CounterRegistry b;
+  b.Counter("blocked") += 4;
+  b.Counter("trace.commit") += 9;
+
+  a.Merge(b.Entries());
+  EXPECT_EQ(a.Get("blocked"), 7u);
+  EXPECT_EQ(a.Get("low.deadlock_delays"), 1u);
+  EXPECT_EQ(a.Get("trace.commit"), 9u);
+
+  // Existing names keep their slot; new names append in the merged
+  // snapshot's order — the property the order-stable aggregate reduction
+  // depends on.
+  const auto entries = a.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "blocked");
+  EXPECT_EQ(entries[1].first, "low.deadlock_delays");
+  EXPECT_EQ(entries[2].first, "trace.commit");
+}
+
+TEST(CounterMergeTest, MergeIntoEmptyCopies) {
+  CounterRegistry src;
+  src.Counter("x") += 2;
+  src.Counter("y") += 5;
+  CounterRegistry dst;
+  dst.Merge(src.Entries());
+  EXPECT_EQ(dst.Entries(), src.Entries());
+}
+
+TEST(CounterMergeTest, ConcurrentRegistriesDoNotBleed) {
+  // Two registries incremented from concurrent threads must end up with
+  // exactly their own counts — the per-run-registry design means there is
+  // no shared state to race on.
+  constexpr int kIters = 20'000;
+  CounterRegistry left;
+  CounterRegistry right;
+  std::thread t1([&left] {
+    uint64_t& c = left.Counter("hits");
+    for (int i = 0; i < kIters; ++i) ++c;
+    left.Counter("left_only") += 1;
+  });
+  std::thread t2([&right] {
+    uint64_t& c = right.Counter("hits");
+    for (int i = 0; i < 2 * kIters; ++i) ++c;
+    right.Counter("right_only") += 1;
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(left.Get("hits"), static_cast<uint64_t>(kIters));
+  EXPECT_EQ(right.Get("hits"), static_cast<uint64_t>(2 * kIters));
+  EXPECT_EQ(left.Get("right_only"), 0u);
+  EXPECT_EQ(right.Get("left_only"), 0u);
+
+  // Merging afterwards (what the aggregate reduction does) sums cleanly.
+  CounterRegistry total;
+  total.Merge(left.Entries());
+  total.Merge(right.Entries());
+  EXPECT_EQ(total.Get("hits"), static_cast<uint64_t>(3 * kIters));
+  EXPECT_EQ(total.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

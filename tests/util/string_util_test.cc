@@ -41,5 +41,66 @@ TEST(PadTest, PadRight) {
   EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
 }
 
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(ParseDoubleTest, AcceptsNumbersRejectsGarbage) {
+  double v = -1.0;
+  EXPECT_TRUE(ParseDouble("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(ParseDouble(" 1e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_TRUE(ParseDouble("-4", &v));
+  EXPECT_DOUBLE_EQ(v, -4.0);
+
+  v = 99.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));      // atof would return 1.5.
+  EXPECT_FALSE(ParseDouble("0.2;0.4", &v));   // atof would return 0.2.
+  EXPECT_FALSE(ParseDouble("1e999999", &v));  // Overflow.
+  EXPECT_DOUBLE_EQ(v, 99.0) << "failed parse must not write";
+}
+
+TEST(ParseInt64Test, AcceptsIntegersRejectsGarbage) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+
+  v = 99;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("4.5", &v));
+  EXPECT_FALSE(ParseInt64("12abc", &v));  // atoi would return 12.
+  EXPECT_FALSE(ParseInt64("999999999999999999999", &v));  // Overflow.
+  EXPECT_EQ(v, 99);
+}
+
+TEST(ParseDoubleListTest, ParsesAndReportsOffendingToken) {
+  std::vector<double> out;
+  ASSERT_TRUE(ParseDoubleList("0.2,0.4,1.2", ',', &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{0.2, 0.4, 1.2}));
+
+  // Stray separators are tolerated (trailing comma, double comma).
+  ASSERT_TRUE(ParseDoubleList("0.2,,0.4,", ',', &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{0.2, 0.4}));
+
+  // The paper-sweep footgun: a semicolon-separated list must be an error,
+  // not a silent single-point sweep.
+  const Status bad = ParseDoubleList("0.2;0.4", ',', &out);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("0.2;0.4"), std::string::npos);
+
+  const Status garbage = ParseDoubleList("0.2,fast,0.4", ',', &out);
+  EXPECT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.ToString().find("fast"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wtpgsched

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  EXPECT_EQ(pool.num_threads(), 2);
+}
+
+TEST(ThreadPoolTest, ClampsToOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No Wait(): the destructor must still run everything already queued.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksOverlapAcrossWorkers) {
+  // Two tasks that each wait for the other to start can only finish if they
+  // run on different workers.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  auto task = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++started;
+    cv.notify_all();
+    cv.wait(lock, [&] { return started == 2; });
+  };
+  pool.Submit(task);
+  pool.Submit(task);
+  pool.Wait();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  for (int jobs : {1, 3, 8}) {
+    std::vector<std::atomic<int>> hits(57);
+    ParallelFor(jobs, hits.size(), [&hits](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, SerialWhenSingleJobPreservesOrder) {
+  std::vector<size_t> order;
+  ParallelFor(1, 5, [&order](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+}  // namespace
+}  // namespace wtpgsched

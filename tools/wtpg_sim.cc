@@ -14,6 +14,7 @@
 #include <map>
 
 #include "analysis/serializability.h"
+#include "driver/sim_run.h"
 #include "machine/machine.h"
 #include "trace/trace_export.h"
 #include "util/flags.h"
@@ -52,6 +53,12 @@ int main(int argc, char** argv) {
   flags.AddInt("mpl", 0, "multiprogramming limit (0 = unlimited)");
   flags.AddInt("low-k", 2, "LOW's conflict bound K");
   flags.AddInt("seed", 1, "RNG seed");
+  flags.AddInt("seeds", 1,
+               "replicas at seed, seed+1, ... — prints the cross-seed "
+               "aggregate instead of single-run stats when > 1");
+  flags.AddInt("jobs", 0,
+               "worker threads for --seeds replicas (0 = WTPG_JOBS env or "
+               "hardware concurrency); results are identical for any value");
   flags.AddInt("max-arrivals", 0, "stop arrivals after N transactions (0 = off)");
   flags.AddBool("verify", false, "check conflict-serializability at the end");
   flags.AddString("timeline-csv", "",
@@ -145,6 +152,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown workload '%s'\n",
                  flags.GetString("workload").c_str());
     return 2;
+  }
+
+  // Multi-seed aggregate mode: fan the replicas across workers and report
+  // the cross-seed averages. The per-run artifacts below (trace, DOT
+  // snapshot, timeline, serializability log) are single-run concepts.
+  const int num_seeds = static_cast<int>(flags.GetInt("seeds"));
+  if (num_seeds > 1) {
+    if (!trace_jsonl.empty() || !trace_chrome.empty() ||
+        !flags.GetString("dot-out").empty() ||
+        !flags.GetString("timeline-csv").empty() || flags.GetBool("verify")) {
+      std::fprintf(stderr,
+                   "--seeds > 1 is incompatible with --trace-*/--dot-out/"
+                   "--timeline-csv/--verify (single-run outputs)\n");
+      return 2;
+    }
+    const AggregateResult agg =
+        RunAggregate(config, pattern, num_seeds,
+                     static_cast<int>(flags.GetInt("jobs")));
+    if (flags.GetBool("json")) {
+      std::printf("%s\n", agg.ToJson().c_str());
+      return 0;
+    }
+    std::printf("scheduler          %s\n",
+                SchedulerKindName(config.scheduler));
+    std::printf("seeds              %d (base seed %llu)\n", agg.num_seeds,
+                static_cast<unsigned long long>(config.seed));
+    std::printf("mean response      %.2f s\n", agg.mean_response_s);
+    std::printf("throughput         %.3f TPS\n", agg.throughput_tps);
+    std::printf("completions        %.1f per seed\n", agg.completions);
+    std::printf("blocked/delayed    %.1f / %.1f\n", agg.blocked, agg.delayed);
+    std::printf("start rejections   %.1f\n", agg.start_rejections);
+    std::printf("restarts           %.1f\n", agg.restarts);
+    std::printf("CN utilization     %.1f%%\n", 100.0 * agg.cn_utilization);
+    std::printf("DPN utilization    mean %.1f%%\n",
+                100.0 * agg.mean_dpn_utilization);
+    return 0;
   }
 
   Machine machine(config, std::move(pattern));

@@ -21,24 +21,6 @@
 
 using namespace wtpgsched;
 
-namespace {
-
-std::vector<double> ParseRates(const std::string& csv) {
-  std::vector<double> rates;
-  std::string current;
-  for (char c : csv + ",") {
-    if (c == ',') {
-      if (!current.empty()) rates.push_back(std::atof(current.c_str()));
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  return rates;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("mode", "rates", "rates|rt-target|mpl");
@@ -56,6 +38,11 @@ int main(int argc, char** argv) {
   flags.AddInt("seeds", 1, "seeds per data point");
   flags.AddInt("iters", 9, "bisection iterations (rt-target mode)");
   flags.AddInt("seed", 1, "base RNG seed");
+  flags.AddInt("jobs", 0,
+               "replica worker threads (0 = WTPG_JOBS env or hardware "
+               "concurrency); results are identical for any value");
+  flags.AddBool("json", false,
+                "also print one AggregateResult JSON line per data point");
   flags.AddString("csv", "", "also write the table to this CSV file");
   flags.AddString("log-level", "warning", "debug|info|warning|error");
   flags.AddBool("help", false, "print usage");
@@ -115,34 +102,46 @@ int main(int argc, char** argv) {
   }
 
   const int seeds = static_cast<int>(flags.GetInt("seeds"));
+  const int jobs = static_cast<int>(flags.GetInt("jobs"));
+  const bool json = flags.GetBool("json");
   const std::string mode = flags.GetString("mode");
   TablePrinter* table = nullptr;
 
   if (mode == "rates") {
-    const std::vector<double> rates = ParseRates(flags.GetString("rates"));
+    std::vector<double> rates;
+    const Status parsed =
+        ParseDoubleList(flags.GetString("rates"), ',', &rates);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--rates: %s\n", parsed.ToString().c_str());
+      return 2;
+    }
     if (rates.empty()) {
       std::fprintf(stderr, "--rates is empty\n");
       return 2;
     }
     static TablePrinter t({"lambda(tps)", "mean RT(s)", "median(s)",
-                           "tput(tps)", "blocked", "delayed", "restarts"});
+                           "tput(tps)", "blocked", "delayed", "restarts",
+                           "seeds"});
     for (const SweepPoint& p :
-         SweepArrivalRates(config, pattern, rates, seeds)) {
+         SweepArrivalRates(config, pattern, rates, seeds, jobs)) {
       t.AddRow({FmtTps(p.lambda_tps), FmtSeconds(p.result.mean_response_s),
                 FmtSeconds(0.0), FmtTps(p.result.throughput_tps),
                 FormatDouble(p.result.blocked, 0),
                 FormatDouble(p.result.delayed, 0),
-                FormatDouble(p.result.restarts, 0)});
+                FormatDouble(p.result.restarts, 0),
+                StrCat(p.result.num_seeds)});
+      if (json) std::printf("%s\n", p.result.ToJson().c_str());
     }
     table = &t;
   } else if (mode == "rt-target") {
     const OperatingPoint op = FindRateForResponseTime(
         config, pattern, flags.GetDouble("target-s"), 0.05, 1.6, seeds,
-        static_cast<int>(flags.GetInt("iters")), 2.5);
+        static_cast<int>(flags.GetInt("iters")), 2.5, jobs);
     static TablePrinter t(
-        {"lambda(tps)", "mean RT(s)", "tput(tps)", "converged"});
+        {"lambda(tps)", "mean RT(s)", "tput(tps)", "seeds", "converged"});
     t.AddRow({FmtTps(op.lambda_tps), FmtSeconds(op.mean_response_s),
-              FmtTps(op.throughput_tps), op.converged ? "yes" : "no"});
+              FmtTps(op.throughput_tps), StrCat(op.num_seeds),
+              op.converged ? "yes" : "no"});
     table = &t;
   } else if (mode == "mpl") {
     if (config.scheduler != SchedulerKind::kC2pl) {
@@ -150,10 +149,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     const MplChoice choice =
-        TuneMpl(config, pattern, DefaultMplCandidates(), seeds);
-    static TablePrinter t({"best mpl", "mean RT(s)", "tput(tps)"});
+        TuneMpl(config, pattern, DefaultMplCandidates(), seeds, jobs);
+    static TablePrinter t({"best mpl", "mean RT(s)", "tput(tps)", "seeds"});
     t.AddRow({StrCat(choice.mpl), FmtSeconds(choice.result.mean_response_s),
-              FmtTps(choice.result.throughput_tps)});
+              FmtTps(choice.result.throughput_tps),
+              StrCat(choice.result.num_seeds)});
+    if (json) std::printf("%s\n", choice.result.ToJson().c_str());
     table = &t;
   } else {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
