@@ -27,7 +27,7 @@ int main() {
     for (SchedulerKind kind : {SchedulerKind::kTwoPl, SchedulerKind::kC2pl,
                                SchedulerKind::kAsl, SchedulerKind::kLow}) {
       SimConfig config = MakeConfig(kind, 16, 1, rate);
-      config.horizon_ms = opts.horizon_ms;
+      config.run.horizon_ms = opts.horizon_ms;
       const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
       if (kind == SchedulerKind::kTwoPl) twopl = r;
       row.push_back(FmtSeconds(r.mean_response_s));

@@ -22,7 +22,7 @@ int main() {
   for (bool per_eval : {true, false}) {
     SimConfig config = MakeConfig(SchedulerKind::kLow, 16, 1, 1.0);
     config.low_charge_per_eval = per_eval;
-    config.horizon_ms = opts.horizon_ms;
+    config.run.horizon_ms = opts.horizon_ms;
     const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
     low_table.AddRow({per_eval ? "per-eval (default)" : "flat",
                       FmtSeconds(r.mean_response_s), FmtTps(r.throughput_tps),
@@ -35,8 +35,8 @@ int main() {
       {"chaintime(ms)", "mean RT(s)", "tput(tps)", "CN util"});
   for (double chaintime : {0.0, 10.0, 30.0, 90.0, 300.0}) {
     SimConfig config = MakeConfig(SchedulerKind::kGow, 16, 1, 1.0);
-    config.chain_time_ms = chaintime;
-    config.horizon_ms = opts.horizon_ms;
+    config.costs.chain_time_ms = chaintime;
+    config.run.horizon_ms = opts.horizon_ms;
     const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
     gow_table.AddRow({FormatDouble(chaintime, 0),
                       FmtSeconds(r.mean_response_s), FmtTps(r.throughput_tps),

@@ -25,7 +25,7 @@ int main() {
       for (int k : ks) {
         SimConfig config = MakeConfig(SchedulerKind::kLow, 16, dd, 1.2);
         config.low_k = k;
-        config.horizon_ms = opts.horizon_ms;
+        config.run.horizon_ms = opts.horizon_ms;
         const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
         table.AddRow({hot_set ? "Exp2(hot)" : "Exp1", std::to_string(dd),
                       std::to_string(k), FmtSeconds(r.mean_response_s),

@@ -23,7 +23,7 @@ int main() {
     for (int dd : {1, 2}) {
       {
         SimConfig config = MakeConfig(SchedulerKind::kLow, 16, dd, 1.0);
-        config.horizon_ms = opts.horizon_ms;
+        config.run.horizon_ms = opts.horizon_ms;
         const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
         table.AddRow({hot_set ? "Exp2(hot)" : "Exp1", std::to_string(dd),
                       "LOW (off)", FmtSeconds(r.mean_response_s),
@@ -32,7 +32,7 @@ int main() {
       for (double weight : {0.25, 1.0, 4.0}) {
         SimConfig config = MakeConfig(SchedulerKind::kLowLb, 16, dd, 1.0);
         config.low_lb_weight = weight;
-        config.horizon_ms = opts.horizon_ms;
+        config.run.horizon_ms = opts.horizon_ms;
         const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
         table.AddRow({hot_set ? "Exp2(hot)" : "Exp1", std::to_string(dd),
                       FormatDouble(weight, 2), FmtSeconds(r.mean_response_s),

@@ -26,8 +26,8 @@ int main() {
       for (double delay_ms : {0.0, 5000.0, 20000.0}) {
         SimConfig config = MakeConfig(SchedulerKind::kOpt, 16, 1, 0.3);
         config.opt_validate_writes = validate_writes;
-        config.restart_delay_ms = delay_ms;
-        config.horizon_ms = opts.horizon_ms;
+        config.run.restart_delay_ms = delay_ms;
+        config.run.horizon_ms = opts.horizon_ms;
         const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
         table.AddRow(
             {hot_set ? "Exp2(hot)" : "Exp1",

@@ -23,8 +23,8 @@ int main() {
     for (int dd : {1, 4}) {
       for (double quantum : {0.0, 0.05, 0.25, 1.0, 5.0}) {
         SimConfig config = MakeConfig(kind, 16, dd, 1.0);
-        config.quantum_objects = quantum;
-        config.horizon_ms = opts.horizon_ms;
+        config.machine.quantum_objects = quantum;
+        config.run.horizon_ms = opts.horizon_ms;
         const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
         table.AddRow({SchedulerLabel(kind), std::to_string(dd),
                       quantum == 0.0 ? std::string("1/DD (paper)")

@@ -23,8 +23,8 @@ int main() {
   for (SchedulerKind kind : {SchedulerKind::kLow, SchedulerKind::kGow}) {
     for (double fallback_ms : {200.0, 1000.0, 5000.0, 20000.0}) {
       SimConfig config = MakeConfig(kind, 16, 1, 1.0);
-      config.retry_fallback_ms = fallback_ms;
-      config.horizon_ms = opts.horizon_ms;
+      config.run.retry_fallback_ms = fallback_ms;
+      config.run.horizon_ms = opts.horizon_ms;
       const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
       timer_table.AddRow({SchedulerLabel(kind), FormatDouble(fallback_ms, 0),
                           FmtSeconds(r.mean_response_s),
@@ -41,8 +41,8 @@ int main() {
       {"cap", "mean RT(s)", "tput(tps)", "CN util", "rejections"});
   for (int cap : {2, 4, 8, 16, 32, 64}) {
     SimConfig config = MakeConfig(SchedulerKind::kGow, 16, 1, 1.2);
-    config.admission_retry_limit = cap;
-    config.horizon_ms = opts.horizon_ms;
+    config.run.admission_retry_limit = cap;
+    config.run.horizon_ms = opts.horizon_ms;
     const AggregateResult r = RunAggregate(config, pattern, opts.seeds);
     cap_table.AddRow({std::to_string(cap), FmtSeconds(r.mean_response_s),
                       FmtTps(r.throughput_tps), FmtPercent(r.cn_utilization),

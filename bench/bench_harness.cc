@@ -35,9 +35,9 @@ std::string RunSweep(const std::vector<double>& rates, int seeds,
   for (SchedulerKind kind : kSchedulers) {
     SimConfig config;
     config.scheduler = kind;
-    config.horizon_ms = horizon_ms;
+    config.run.horizon_ms = horizon_ms;
     for (const SweepPoint& p :
-         SweepArrivalRates(config, Pattern::Experiment1(config.num_files),
+         SweepArrivalRates(config, Pattern::Experiment1(config.machine.num_files),
                            rates, seeds, jobs)) {
       combined += p.result.ToJson();
       combined += '\n';

@@ -44,12 +44,12 @@ void BM_LowRun(benchmark::State& state) {
   for (auto _ : state) {
     SimConfig c;
     c.scheduler = SchedulerKind::kLow;
-    c.num_files = 16;
-    c.arrival_rate_tps = 0.8;
-    c.horizon_ms = 300'000;
-    c.seed = 5;
-    c.trace_enabled = state.range(0) != 0;
-    c.trace_capacity = 1 << 16;
+    c.machine.num_files = 16;
+    c.workload.arrival_rate_tps = 0.8;
+    c.run.horizon_ms = 300'000;
+    c.run.seed = 5;
+    c.run.trace_enabled = state.range(0) != 0;
+    c.run.trace_capacity = 1 << 16;
     Machine m(c, Pattern::Experiment1(16));
     benchmark::DoNotOptimize(m.Run());
   }

@@ -53,11 +53,11 @@ class SeniorityScheduler : public C2plScheduler {
 RunStats RunWith(std::unique_ptr<Scheduler> scheduler, const char* label) {
   SimConfig config;
   config.scheduler = SchedulerKind::kC2pl;  // Costs/bookkeeping defaults.
-  config.num_files = 16;
-  config.dd = 2;
-  config.arrival_rate_tps = 0.6;
-  config.horizon_ms = 2'000'000;
-  config.seed = 7;
+  config.machine.num_files = 16;
+  config.machine.dd = 2;
+  config.workload.arrival_rate_tps = 0.6;
+  config.run.horizon_ms = 2'000'000;
+  config.run.seed = 7;
   Machine machine(config, Pattern::Experiment1(16), std::move(scheduler));
   const RunStats stats = machine.Run();
   const SerializabilityResult check =

@@ -45,11 +45,11 @@ int main() {
         SchedulerKind::kAsl, SchedulerKind::kOpt}) {
     SimConfig config;
     config.scheduler = kind;
-    config.num_files = 16;
-    config.dd = 1;  // Placement tuned for short transactions.
-    config.arrival_rate_tps = 0.8;
-    config.horizon_ms = 2'000'000;
-    config.seed = 2026;
+    config.machine.num_files = 16;
+    config.machine.dd = 1;  // Placement tuned for short transactions.
+    config.workload.arrival_rate_tps = 0.8;
+    config.run.horizon_ms = 2'000'000;
+    config.run.seed = 2026;
     const RunStats stats = RunSimulation(config, pattern);
     std::printf("%-10s %12.1f %12.2f %10llu %10llu %10llu\n",
                 SchedulerKindName(kind), stats.mean_response_s,

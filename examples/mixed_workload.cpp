@@ -35,11 +35,11 @@ int main() {
         SchedulerKind::kAsl, SchedulerKind::kTwoPl}) {
     SimConfig config;
     config.scheduler = kind;
-    config.num_files = 16;
-    config.dd = 1;
-    config.arrival_rate_tps = 3.0;
-    config.horizon_ms = 2'000'000;
-    config.seed = 31;
+    config.machine.num_files = 16;
+    config.machine.dd = 1;
+    config.workload.arrival_rate_tps = 3.0;
+    config.run.horizon_ms = 2'000'000;
+    config.run.seed = 31;
 
     std::vector<WeightedPattern> mix;
     mix.push_back(WeightedPattern{*shorts, 0.9});

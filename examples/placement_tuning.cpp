@@ -19,11 +19,11 @@ namespace {
 double MeanRt(SchedulerKind kind, int dd, double rate) {
   SimConfig config;
   config.scheduler = kind;
-  config.num_files = 16;
-  config.dd = dd;
-  config.arrival_rate_tps = rate;
-  config.horizon_ms = 2'000'000;
-  config.seed = 99;
+  config.machine.num_files = 16;
+  config.machine.dd = dd;
+  config.workload.arrival_rate_tps = rate;
+  config.run.horizon_ms = 2'000'000;
+  config.run.seed = 99;
   return RunSimulation(config, Pattern::Experiment1(16)).mean_response_s;
 }
 

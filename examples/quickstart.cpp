@@ -30,15 +30,15 @@ int main() {
         SchedulerKind::kLow, SchedulerKind::kC2pl, SchedulerKind::kOpt}) {
     SimConfig config;  // Table-1 defaults: 8 nodes, 1s/object, etc.
     config.scheduler = kind;
-    config.num_files = 16;
-    config.dd = 1;                  // No intra-transaction parallelism.
-    config.arrival_rate_tps = 0.6;  // Moderate load.
-    config.horizon_ms = 2'000'000;  // 2000 simulated seconds.
-    config.seed = 42;
+    config.machine.num_files = 16;
+    config.machine.dd = 1;                  // No intra-transaction parallelism.
+    config.workload.arrival_rate_tps = 0.6;  // Moderate load.
+    config.run.horizon_ms = 2'000'000;  // 2000 simulated seconds.
+    config.run.seed = 42;
 
     const RunStats stats = RunSimulation(config, pattern);
     std::printf("%-10s %8.2f %12.1f %12.2f %9llu %9llu\n",
-                SchedulerKindName(kind), config.arrival_rate_tps,
+                SchedulerKindName(kind), config.workload.arrival_rate_tps,
                 stats.mean_response_s, stats.throughput_tps,
                 static_cast<unsigned long long>(stats.blocked),
                 static_cast<unsigned long long>(stats.delayed));

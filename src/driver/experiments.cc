@@ -51,10 +51,10 @@ SimConfig MakeConfig(SchedulerKind kind, int num_files, int dd,
                      double arrival_rate_tps, double error_sigma) {
   SimConfig config;  // Table-1 defaults.
   config.scheduler = kind;
-  config.num_files = num_files;
-  config.dd = dd;
-  config.arrival_rate_tps = arrival_rate_tps;
-  config.error_sigma = error_sigma;
+  config.machine.num_files = num_files;
+  config.machine.dd = dd;
+  config.workload.arrival_rate_tps = arrival_rate_tps;
+  config.workload.error_sigma = error_sigma;
   return config;
 }
 
@@ -94,7 +94,7 @@ OperatingPoint FindRt70(SchedulerKind kind, int num_files, int dd,
                         double error_sigma) {
   SimConfig config = MakeConfig(kind, num_files, dd, /*arrival_rate_tps=*/1.0,
                                 error_sigma);
-  config.horizon_ms = options.horizon_ms;
+  config.run.horizon_ms = options.horizon_ms;
   return FindRateForResponseTime(config, pattern, kRtTargetSeconds, kLambdaLo,
                                  kLambdaHi, options.seeds, options.rt_iters,
                                  options.rt_tol_s, options.jobs);
@@ -105,7 +105,7 @@ AggregateResult RunAtRate(SchedulerKind kind, int num_files, int dd,
                           const BenchOptions& options, double error_sigma) {
   SimConfig config =
       MakeConfig(kind, num_files, dd, arrival_rate_tps, error_sigma);
-  config.horizon_ms = options.horizon_ms;
+  config.run.horizon_ms = options.horizon_ms;
   return RunAggregate(config, pattern, options.seeds, options.jobs);
 }
 
@@ -114,7 +114,7 @@ MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
                          double error_sigma) {
   SimConfig config = MakeConfig(SchedulerKind::kC2pl, num_files, dd,
                                 arrival_rate_tps, error_sigma);
-  config.horizon_ms = options.horizon_ms;
+  config.run.horizon_ms = options.horizon_ms;
   return TuneMpl(config, pattern, DefaultMplCandidates(), options.seeds,
                  options.jobs);
 }

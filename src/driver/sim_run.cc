@@ -95,7 +95,7 @@ std::vector<AggregateResult> RunAggregates(const std::vector<SimConfig>& bases,
   for (const SimConfig& base : bases) {
     for (int i = 0; i < num_seeds; ++i) {
       SimConfig config = base;
-      config.seed = base.seed + static_cast<uint64_t>(i);
+      config.run.seed = base.run.seed + static_cast<uint64_t>(i);
       replicas.push_back(config);
     }
   }

@@ -27,7 +27,7 @@ RunStats RunSimulation(const SimConfig& config, const Pattern& pattern);
 // writes its RunStats into a slot keyed by submission index, and the
 // reduction is a serial left-to-right walk over those slots — floating-point
 // summation order, counter registration order, and per-replica seeds
-// (config.seed + replica index) never depend on the worker count.
+// (config.run.seed + replica index) never depend on the worker count.
 
 // Worker count for batch runs: `jobs` >= 1 is used as-is; 0 (the default
 // everywhere) resolves to DefaultJobs().
@@ -43,7 +43,7 @@ std::vector<RunStats> RunReplicas(const std::vector<SimConfig>& configs,
                                   const Pattern& pattern, int jobs = 0);
 
 // Cross-seed aggregate of the figures the experiments report. Seeds are
-// config.seed, config.seed + 1, ... (common random numbers across
+// config.run.seed, config.run.seed + 1, ... (common random numbers across
 // schedulers at equal seeds).
 struct AggregateResult {
   double mean_response_s = 0.0;
@@ -70,7 +70,7 @@ struct AggregateResult {
 AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
                              int num_seeds, int jobs = 0);
 
-// Expands each base config into `num_seeds` replicas (seed = base.seed + i),
+// Expands each base config into `num_seeds` replicas (seed = base.run.seed + i),
 // runs the whole batch through one pool, and reduces per base. Equivalent to
 // calling RunAggregate per base, but a single fan-out keeps all cores busy
 // across the entire rate x seed (or MPL x seed) grid.

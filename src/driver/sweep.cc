@@ -16,7 +16,7 @@ OperatingPoint FindRateForResponseTime(const SimConfig& base,
 
   auto at_rate = [&](double rate) {
     SimConfig config = base;
-    config.arrival_rate_tps = rate;
+    config.workload.arrival_rate_tps = rate;
     return config;
   };
   auto evaluate = [&](double rate) {
@@ -82,7 +82,7 @@ std::vector<SweepPoint> SweepArrivalRates(const SimConfig& base,
   bases.reserve(rates.size());
   for (double rate : rates) {
     SimConfig config = base;
-    config.arrival_rate_tps = rate;
+    config.workload.arrival_rate_tps = rate;
     bases.push_back(config);
   }
   const std::vector<AggregateResult> results =
@@ -103,7 +103,7 @@ MplChoice TuneMpl(const SimConfig& base, const Pattern& pattern,
   bases.reserve(candidates.size());
   for (int mpl : candidates) {
     SimConfig config = base;
-    config.mpl = mpl;
+    config.machine.mpl = mpl;
     bases.push_back(config);
   }
   const std::vector<AggregateResult> results =

@@ -1,0 +1,34 @@
+#include "fault/fault_config.h"
+
+namespace wtpgsched {
+
+Status FaultConfig::Validate() const {
+  for (double v : {dpn_mttf_ms, straggler_mtbf_ms, abort_rate_per_s}) {
+    if (v < 0.0) {
+      return Status::InvalidArgument("fault rates must be >= 0");
+    }
+  }
+  if (dpn_mttf_ms > 0.0 && dpn_mttr_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "dpn_mttr_ms must be > 0 when crashes are enabled");
+  }
+  if (straggler_mtbf_ms > 0.0) {
+    if (straggler_duration_ms <= 0.0) {
+      return Status::InvalidArgument(
+          "straggler_duration_ms must be > 0 when stragglers are enabled");
+    }
+    if (straggler_factor < 1.0) {
+      return Status::InvalidArgument("straggler_factor must be >= 1");
+    }
+  }
+  if (backoff_base_ms < 0.0 || backoff_max_ms < backoff_base_ms) {
+    return Status::InvalidArgument(
+        "backoff_base_ms must be >= 0 and <= backoff_max_ms");
+  }
+  if (backoff_jitter < 0.0 || backoff_jitter >= 1.0) {
+    return Status::InvalidArgument("backoff_jitter must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wtpgsched

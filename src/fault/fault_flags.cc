@@ -1,0 +1,49 @@
+#include "fault/fault_flags.h"
+
+namespace wtpgsched {
+
+void AddFaultFlags(FlagParser& flags) {
+  FaultConfig defaults;
+  flags.AddDouble("fault-mttf-ms", defaults.dpn_mttf_ms,
+                  "mean time to DPN failure, exponential (0 = no crashes)");
+  flags.AddDouble("fault-mttr-ms", defaults.dpn_mttr_ms,
+                  "mean time to DPN repair, exponential");
+  flags.AddDouble("fault-straggler-mtbf-ms", defaults.straggler_mtbf_ms,
+                  "mean time between DPN slowdown windows (0 = none)");
+  flags.AddDouble("fault-straggler-duration-ms",
+                  defaults.straggler_duration_ms,
+                  "length of each slowdown window");
+  flags.AddDouble("fault-straggler-factor", defaults.straggler_factor,
+                  "scan service-time multiplier inside a window (>= 1)");
+  flags.AddDouble("fault-abort-rate", defaults.abort_rate_per_s,
+                  "spontaneous-abort injections per simulated second");
+  flags.AddDouble("fault-backoff-base-ms", defaults.backoff_base_ms,
+                  "restart backoff base (doubles per restart)");
+  flags.AddDouble("fault-backoff-max-ms", defaults.backoff_max_ms,
+                  "restart backoff cap");
+  flags.AddDouble("fault-backoff-jitter", defaults.backoff_jitter,
+                  "backoff jitter fraction in [0, 1)");
+}
+
+void ApplyFaultFlags(const FlagParser& flags, FaultConfig* fault) {
+  struct Binding {
+    const char* name;
+    double FaultConfig::* field;
+  };
+  static constexpr Binding kBindings[] = {
+      {"fault-mttf-ms", &FaultConfig::dpn_mttf_ms},
+      {"fault-mttr-ms", &FaultConfig::dpn_mttr_ms},
+      {"fault-straggler-mtbf-ms", &FaultConfig::straggler_mtbf_ms},
+      {"fault-straggler-duration-ms", &FaultConfig::straggler_duration_ms},
+      {"fault-straggler-factor", &FaultConfig::straggler_factor},
+      {"fault-abort-rate", &FaultConfig::abort_rate_per_s},
+      {"fault-backoff-base-ms", &FaultConfig::backoff_base_ms},
+      {"fault-backoff-max-ms", &FaultConfig::backoff_max_ms},
+      {"fault-backoff-jitter", &FaultConfig::backoff_jitter},
+  };
+  for (const Binding& b : kBindings) {
+    if (flags.WasSet(b.name)) fault->*b.field = flags.GetDouble(b.name);
+  }
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,19 @@
+#ifndef WTPG_SCHED_FAULT_FAULT_FLAGS_H_
+#define WTPG_SCHED_FAULT_FAULT_FLAGS_H_
+
+#include "fault/fault_config.h"
+#include "util/flags.h"
+
+namespace wtpgsched {
+
+// --fault-* flags shared by the tools; defaults mirror FaultConfig so a
+// flag overlays the config only when explicitly set.
+void AddFaultFlags(FlagParser& flags);
+
+// Copies every explicitly-set --fault-* flag into *fault (on top of
+// whatever --config loaded).
+void ApplyFaultFlags(const FlagParser& flags, FaultConfig* fault);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_FAULT_FAULT_FLAGS_H_

@@ -1,0 +1,112 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace wtpgsched {
+
+namespace {
+
+// Salt separating the fault stream from the workload streams, which are
+// seeded directly from the replica seed. Arbitrary odd 64-bit constant.
+constexpr uint64_t kFaultSeedSalt = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+const char* FaultEventKindName(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kDpnCrash:
+      return "dpn_crash";
+    case FaultEventKind::kDpnRepair:
+      return "dpn_repair";
+    case FaultEventKind::kSlowdownStart:
+      return "slowdown_start";
+    case FaultEventKind::kSlowdownEnd:
+      return "slowdown_end";
+    case FaultEventKind::kInjectAbort:
+      return "inject_abort";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Compile(const FaultConfig& config, int num_nodes,
+                             SimTime horizon, uint64_t seed) {
+  WTPG_CHECK(num_nodes > 0);
+  FaultPlan plan;
+  if (!config.enabled()) return plan;
+
+  Rng root(seed ^ kFaultSeedSalt);
+  // Fork a fixed set of child streams up front, in a fixed order, so each
+  // fault source is independent of the others' configuration: turning
+  // stragglers on must not move the crash schedule.
+  Rng crash_rng = root.Fork();
+  Rng straggler_rng = root.Fork();
+  Rng abort_rng = root.Fork();
+
+  if (config.dpn_mttf_ms > 0.0) {
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      // Per-node stream: the schedule of node k does not depend on how many
+      // draws earlier nodes consumed.
+      Rng rng = crash_rng.Fork();
+      SimTime t = 0;
+      while (true) {
+        t += MsToTime(rng.Exponential(config.dpn_mttf_ms));
+        if (t >= horizon) break;
+        plan.events_.push_back(
+            {.time = t, .kind = FaultEventKind::kDpnCrash, .node = node});
+        ++plan.num_crashes_;
+        t += MsToTime(rng.Exponential(config.dpn_mttr_ms));
+        if (t >= horizon) break;
+        plan.events_.push_back(
+            {.time = t, .kind = FaultEventKind::kDpnRepair, .node = node});
+      }
+    }
+  }
+
+  if (config.straggler_mtbf_ms > 0.0) {
+    const SimTime duration = MsToTime(config.straggler_duration_ms);
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      Rng rng = straggler_rng.Fork();
+      SimTime t = 0;
+      while (true) {
+        // Windows never overlap: the next inter-window gap starts when the
+        // previous window closes.
+        t += MsToTime(rng.Exponential(config.straggler_mtbf_ms));
+        if (t >= horizon) break;
+        plan.events_.push_back(
+            {.time = t, .kind = FaultEventKind::kSlowdownStart, .node = node});
+        ++plan.num_slowdowns_;
+        t += duration;
+        if (t >= horizon) break;
+        plan.events_.push_back(
+            {.time = t, .kind = FaultEventKind::kSlowdownEnd, .node = node});
+      }
+    }
+  }
+
+  if (config.abort_rate_per_s > 0.0) {
+    const double mean_gap_ms = 1000.0 / config.abort_rate_per_s;
+    SimTime t = 0;
+    while (true) {
+      t += MsToTime(abort_rng.Exponential(mean_gap_ms));
+      if (t >= horizon) break;
+      plan.events_.push_back({.time = t,
+                              .kind = FaultEventKind::kInjectAbort,
+                              .node = -1,
+                              .pick = abort_rng.NextDouble()});
+      ++plan.num_abort_injections_;
+    }
+  }
+
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.time, a.kind, a.node) <
+                     std::tie(b.time, b.kind, b.node);
+            });
+  return plan;
+}
+
+}  // namespace wtpgsched

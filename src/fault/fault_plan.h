@@ -1,0 +1,71 @@
+#ifndef WTPG_SCHED_FAULT_FAULT_PLAN_H_
+#define WTPG_SCHED_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_config.h"
+#include "model/types.h"
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// One scheduled fault, in simulated time. Crash/repair and slowdown
+// start/end come in alternating per-node pairs; abort injections are
+// machine-wide and carry a pre-drawn uniform pick in [0, 1) that the
+// machine maps onto whichever transaction is eligible when the event fires
+// (the draw happens at compile time so victim selection never consumes
+// simulation RNG state).
+enum class FaultEventKind : uint8_t {
+  kDpnCrash = 0,
+  kDpnRepair = 1,
+  kSlowdownStart = 2,
+  kSlowdownEnd = 3,
+  kInjectAbort = 4,
+};
+
+const char* FaultEventKindName(FaultEventKind kind);
+
+struct FaultEvent {
+  SimTime time = 0;
+  FaultEventKind kind = FaultEventKind::kDpnCrash;
+  NodeId node = -1;    // -1 for machine-wide events (kInjectAbort).
+  double pick = 0.0;   // kInjectAbort victim selector, uniform in [0, 1).
+};
+
+// The full fault schedule of one run, compiled from FaultConfig before the
+// simulation starts. Compilation draws from a dedicated RNG stream seeded
+// by (seed ^ salt) — never from the workload streams — so:
+//   * a zero-fault config compiles to an empty plan and the run is
+//     byte-identical to a build without the fault layer, and
+//   * identical seeds give bit-identical schedules regardless of --jobs,
+//     replica interleaving, or which schedulers ran before.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Compiles the schedule for a machine with `num_nodes` DPNs over
+  // [0, horizon). `seed` is the replica seed (config.run.seed + replica
+  // index); the plan salts it internally. Requires config.Validate() ok.
+  static FaultPlan Compile(const FaultConfig& config, int num_nodes,
+                           SimTime horizon, uint64_t seed);
+
+  // Events sorted by (time, kind, node); stable for equal seeds.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Schedule summary counts (for logging and plan tests).
+  uint64_t num_crashes() const { return num_crashes_; }
+  uint64_t num_slowdowns() const { return num_slowdowns_; }
+  uint64_t num_abort_injections() const { return num_abort_injections_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  uint64_t num_crashes_ = 0;
+  uint64_t num_slowdowns_ = 0;
+  uint64_t num_abort_injections_ = 0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_FAULT_FAULT_PLAN_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "fault/fault_config.h"
 #include "sim/time.h"
 #include "util/status.h"
 
@@ -24,17 +25,31 @@ enum class SchedulerKind {
 
 const char* SchedulerKindName(SchedulerKind kind);
 
-// Simulation parameters. Defaults reproduce Table 1 of the paper.
-struct SimConfig {
-  // --- Machine model ---
+// CLI / JSON spelling of a scheduler kind ("nodc", "low-lb", "2pl", ...).
+const char* SchedulerKindFlagName(SchedulerKind kind);
+// Parses a CLI / JSON spelling; returns false on unknown names.
+bool ParseSchedulerKind(const std::string& name, SchedulerKind* out);
+
+// Simulation parameters, grouped into named sections (machine / costs /
+// workload / run / fault) that serialize to one JSON artifact
+// (SimConfig::ToJson / FromJson, --config on the tools). Defaults
+// reproduce Table 1 of the paper.
+
+// --- The shared-nothing machine (paper Fig. 1) ---
+struct MachineSection {
   int num_nodes = 8;    // Data-processing nodes.
   int num_files = 16;   // Locking granules.
   int dd = 1;           // Degree of declustering (uniform over files).
   // Multiprogramming level: admission refused while `mpl` transactions are
   // active. Table 1 default is infinite; C2PL+M tunes it.
   int mpl = std::numeric_limits<int>::max();
+  // Round-robin service quantum at the DPNs, in objects. 0 selects the
+  // paper's rule of 1/DD objects per turn (Section 4.1, item 4).
+  double quantum_objects = 0.0;
+};
 
-  // --- Costs (milliseconds; Table 1) ---
+// --- CPU / scan costs (milliseconds; Table 1) ---
+struct CostSection {
   double obj_time_ms = 1000.0;  // Scan time of 1 object at a DPN at DD=1.
   double msg_time_ms = 2.0;     // CN CPU per message send/receive.
   double sot_time_ms = 2.0;     // CN CPU per transaction startup.
@@ -43,20 +58,18 @@ struct SimConfig {
   double kwtpg_time_ms = 10.0;  // LOW: one E() evaluation.
   double chain_time_ms = 30.0;  // GOW: optimized order computation.
   double top_time_ms = 5.0;     // GOW: chain-form test.
+};
 
-  // --- Scheduler selection ---
-  SchedulerKind scheduler = SchedulerKind::kLow;
-  int low_k = 2;                    // LOW's K (paper uses K=2).
-  bool low_charge_per_eval = true;  // See DESIGN.md substitution notes.
-  double low_lb_weight = 1.0;       // LOW-LB load-penalty weight.
-
-  // --- Workload ---
+// --- Workload source ---
+struct WorkloadSection {
   double arrival_rate_tps = 1.0;
   double error_sigma = 0.0;  // Experiment 3 declaration-error stddev.
   // Stop generating arrivals after this many transactions (0 = unlimited).
   uint64_t max_arrivals = 0;
+};
 
-  // --- Run control ---
+// --- Run control & observability ---
+struct RunSection {
   double horizon_ms = 2'000'000;  // Paper: 2,000,000 clocks of 1 ms.
   double warmup_ms = 0;           // Completions before this are excluded.
   // Delayed requests are retried on every commit; this fallback timer
@@ -73,15 +86,6 @@ struct SimConfig {
   // (immediate restarts re-conflict and overload the data nodes; classic
   // CC-performance models restart after a think-time, e.g. Agrawal et al.).
   double restart_delay_ms = 5000.0;
-  // OPT validation scope: when true (default) a committing transaction
-  // aborts if *any* file it accessed was overwritten by a concurrent
-  // commit (write-write counts); when false, only reads are validated
-  // (pure Kung-Robinson). See DESIGN.md — the paper's Experiment-2 numbers
-  // are incompatible with read-only validation.
-  bool opt_validate_writes = true;
-  // Round-robin service quantum at the DPNs, in objects. 0 selects the
-  // paper's rule of 1/DD objects per turn (Section 4.1, item 4).
-  double quantum_objects = 0.0;
   // When > 0, sample a system-state timeline every this many milliseconds
   // (Machine::timeline()).
   double timeline_sample_ms = 0.0;
@@ -92,11 +96,39 @@ struct SimConfig {
   bool trace_enabled = false;
   uint64_t trace_capacity = 1 << 20;
   uint64_t seed = 1;
+};
+
+struct SimConfig {
+  MachineSection machine;
+  CostSection costs;
+  WorkloadSection workload;
+  RunSection run;
+  FaultConfig fault;
+
+  // --- Scheduler selection (top-level; not a section) ---
+  SchedulerKind scheduler = SchedulerKind::kLow;
+  int low_k = 2;                    // LOW's K (paper uses K=2).
+  bool low_charge_per_eval = true;  // See DESIGN.md substitution notes.
+  double low_lb_weight = 1.0;       // LOW-LB load-penalty weight.
+  // OPT validation scope: when true (default) a committing transaction
+  // aborts if *any* file it accessed was overwritten by a concurrent
+  // commit (write-write counts); when false, only reads are validated
+  // (pure Kung-Robinson). See DESIGN.md — the paper's Experiment-2 numbers
+  // are incompatible with read-only validation.
+  bool opt_validate_writes = true;
 
   Status Validate() const;
 
-  SimTime horizon() const { return MsToTime(horizon_ms); }
-  SimTime warmup() const { return MsToTime(warmup_ms); }
+  // One JSON object with a nested object per section — the reproducibility
+  // artifact behind --config. FromJson accepts partial files (absent keys
+  // keep their defaults) and rejects unknown keys.
+  std::string ToJson() const;
+  static StatusOr<SimConfig> FromJson(const std::string& json);
+  // Reads and parses a config file (the --config flag on the tools).
+  static StatusOr<SimConfig> FromJsonFile(const std::string& path);
+
+  SimTime horizon() const { return MsToTime(run.horizon_ms); }
+  SimTime warmup() const { return MsToTime(run.warmup_ms); }
 };
 
 }  // namespace wtpgsched

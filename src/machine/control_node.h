@@ -14,9 +14,9 @@ class ControlNode {
  public:
   ControlNode(Simulator* sim, const SimConfig& config)
       : cpu_(sim, "CN"),
-        sot_time_(MsToTime(config.sot_time_ms)),
-        cot_time_(MsToTime(config.cot_time_ms)),
-        msg_time_(MsToTime(config.msg_time_ms)) {}
+        sot_time_(MsToTime(config.costs.sot_time_ms)),
+        cot_time_(MsToTime(config.costs.cot_time_ms)),
+        msg_time_(MsToTime(config.costs.msg_time_ms)) {}
 
   // Generic CPU burst (scheduler decision of a given cost, etc).
   void SubmitWork(SimTime cost, FcfsServer::Callback done) {

@@ -14,42 +14,42 @@ Machine::Machine(const SimConfig& config, Pattern pattern)
 
 Machine::Machine(const SimConfig& config, std::vector<WeightedPattern> mix)
     : Machine(config,
-              WorkloadGenerator(std::move(mix), config.arrival_rate_tps,
-                                config.dd, ErrorModel{config.error_sigma},
-                                config.seed),
+              WorkloadGenerator(std::move(mix), config.workload.arrival_rate_tps,
+                                config.machine.dd, ErrorModel{config.workload.error_sigma},
+                                config.run.seed),
               CreateScheduler(config)) {}
 
 Machine::Machine(const SimConfig& config, Pattern pattern,
                  std::unique_ptr<Scheduler> scheduler)
     : Machine(config,
-              WorkloadGenerator(std::move(pattern), config.arrival_rate_tps,
-                                config.dd, ErrorModel{config.error_sigma},
-                                config.seed),
+              WorkloadGenerator(std::move(pattern), config.workload.arrival_rate_tps,
+                                config.machine.dd, ErrorModel{config.workload.error_sigma},
+                                config.run.seed),
               std::move(scheduler)) {}
 
 Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
                  std::unique_ptr<Scheduler> scheduler)
     : config_(config),
       sim_(),
-      placement_(config.num_nodes, config.num_files, config.dd),
+      placement_(config.machine.num_nodes, config.machine.num_files, config.machine.dd),
       workload_(std::move(workload)),
       scheduler_(std::move(scheduler)),
       cn_(&sim_, config),
       stats_(config.warmup(), config.horizon()) {
   const Status valid = config.Validate();
   WTPG_CHECK(valid.ok()) << valid.ToString();
-  WTPG_CHECK_LT(workload_.MaxFileId(), config.num_files)
+  WTPG_CHECK_LT(workload_.MaxFileId(), config.machine.num_files)
       << "pattern references files beyond num_files";
-  dpns_.reserve(static_cast<size_t>(config.num_nodes));
-  for (int i = 0; i < config.num_nodes; ++i) {
-    dpns_.push_back(std::make_unique<Dpn>(&sim_, i, config.obj_time_ms));
+  dpns_.reserve(static_cast<size_t>(config.machine.num_nodes));
+  for (int i = 0; i < config.machine.num_nodes; ++i) {
+    dpns_.push_back(std::make_unique<Dpn>(&sim_, i, config.costs.obj_time_ms));
   }
   if (auto* low_lb = dynamic_cast<LowLbScheduler*>(scheduler_.get())) {
     low_lb->set_load_probe(
         [this](FileId file) { return BacklogObjectsForFile(file); });
   }
-  if (config.trace_enabled) {
-    trace_.Enable(static_cast<size_t>(config.trace_capacity));
+  if (config.run.trace_enabled) {
+    trace_.Enable(static_cast<size_t>(config.run.trace_capacity));
   }
   // Wired even when disabled: Record() is a no-op then, and the scheduler
   // and lock table stay oblivious to whether tracing is on.
@@ -95,8 +95,8 @@ RunStats Machine::Run() {
 // --- Arrival ---
 
 void Machine::ScheduleNextArrival() {
-  if (config_.max_arrivals > 0 &&
-      arrivals_generated_ >= config_.max_arrivals) {
+  if (config_.workload.max_arrivals > 0 &&
+      arrivals_generated_ >= config_.workload.max_arrivals) {
     return;
   }
   sim_.ScheduleAfter(workload_.NextInterarrival(), [this] { OnArrival(); });
@@ -198,7 +198,7 @@ void Machine::OnLockDecision(TxnId id) {
       DispatchStep(id);
       // A grant determines new precedence orders, which can unblock delayed
       // requests (their E() values and consistency tests change).
-      if (scheduler_->RetryDelayedOnGrant()) RetryDelayed();
+      if (scheduler_->traits().retry_delayed_on_grant) RetryDelayed();
       break;
     case DecisionKind::kBlock:
       txn.blocked_count += 1;
@@ -240,8 +240,8 @@ void Machine::OnLockDecision(TxnId id) {
                      .type = TraceEventType::kRestartScheduled,
                      .txn = id,
                      .incarnation = txn.restarts,
-                     .value = config_.restart_delay_ms / 1000.0});
-      sim_.ScheduleAfter(MsToTime(config_.restart_delay_ms), [this, id] {
+                     .value = config_.run.restart_delay_ms / 1000.0});
+      sim_.ScheduleAfter(MsToTime(config_.run.restart_delay_ms), [this, id] {
         RequestStartup(id, /*charge_sot=*/true);
       });
       for (FileId file : released) WakeFileWaiters(file);
@@ -296,7 +296,7 @@ void Machine::StartCohorts(TxnId id) {
   // Log the data access. Reads take effect as the scan runs. Writes do too
   // under locking schedulers (in-place, protected by the X lock); under OPT
   // they go to private copies and are logged at commit instead.
-  if (spec.access == LockMode::kShared || !scheduler_->DefersWrites()) {
+  if (spec.access == LockMode::kShared || !scheduler_->traits().defers_writes) {
     log_.RecordAccess(id, txn.restarts, spec.file, spec.access, sim_.Now());
     trace_.Record({.time = sim_.Now(),
                    .type = TraceEventType::kDataAccess,
@@ -309,7 +309,7 @@ void Machine::StartCohorts(TxnId id) {
   const int dd = placement_.dd();
   const double cohort_objects = spec.actual_cost / dd;
   const double quantum_objects =
-      config_.quantum_objects > 0.0 ? config_.quantum_objects : 1.0 / dd;
+      config_.machine.quantum_objects > 0.0 ? config_.machine.quantum_objects : 1.0 / dd;
   cohorts_remaining_[id] = dd;
   for (int c = 0; c < dd; ++c) {
     const NodeId node = placement_.NodeFor(spec.file, c);
@@ -389,12 +389,12 @@ void Machine::OnCommitDone(TxnId id) {
                    .type = TraceEventType::kRestartScheduled,
                    .txn = id,
                    .incarnation = txn.restarts,
-                   .value = config_.restart_delay_ms / 1000.0});
-    sim_.ScheduleAfter(MsToTime(config_.restart_delay_ms),
+                   .value = config_.run.restart_delay_ms / 1000.0});
+    sim_.ScheduleAfter(MsToTime(config_.run.restart_delay_ms),
                        [this, id] { RequestStartup(id, /*charge_sot=*/true); });
     return;
   }
-  if (scheduler_->DefersWrites()) {
+  if (scheduler_->traits().defers_writes) {
     // Deferred updates are installed now.
     for (const StepSpec& spec : txn.steps()) {
       if (spec.access == LockMode::kExclusive) {
@@ -463,9 +463,9 @@ void Machine::RetryDelayed() {
 void Machine::RetryAdmissions() {
   if (admission_wait_.empty()) return;
   size_t budget = admission_wait_.size();
-  if (scheduler_->CostlyAdmission() && config_.admission_retry_limit > 0) {
+  if (scheduler_->traits().costly_admission && config_.run.admission_retry_limit > 0) {
     budget = std::min(budget,
-                      static_cast<size_t>(config_.admission_retry_limit));
+                      static_cast<size_t>(config_.run.admission_retry_limit));
   }
   for (size_t i = 0; i < budget && !admission_wait_.empty(); ++i) {
     const TxnId id = admission_wait_.front();
@@ -479,8 +479,8 @@ void Machine::RetryAdmissions() {
 // --- Timeline sampling ---
 
 void Machine::ScheduleTimelineSample() {
-  if (config_.timeline_sample_ms <= 0.0) return;
-  const SimTime period = MsToTime(config_.timeline_sample_ms);
+  if (config_.run.timeline_sample_ms <= 0.0) return;
+  const SimTime period = MsToTime(config_.run.timeline_sample_ms);
   if (sim_.Now() + period > config_.horizon()) return;
   sim_.ScheduleAfter(period, [this] { TakeTimelineSample(); });
 }
@@ -506,9 +506,9 @@ void Machine::TakeTimelineSample() {
 }
 
 void Machine::EnsureFallbackTimer() {
-  if (fallback_timer_active_ || config_.retry_fallback_ms <= 0.0) return;
+  if (fallback_timer_active_ || config_.run.retry_fallback_ms <= 0.0) return;
   fallback_timer_active_ = true;
-  sim_.ScheduleAfter(MsToTime(config_.retry_fallback_ms), [this] {
+  sim_.ScheduleAfter(MsToTime(config_.run.retry_fallback_ms), [this] {
     fallback_timer_active_ = false;
     const bool had_parked = !delayed_.empty() || !admission_wait_.empty();
     if (had_parked) {

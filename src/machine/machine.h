@@ -68,11 +68,11 @@ class Machine {
   const ScheduleLog& schedule_log() const { return log_; }
   const SimConfig& config() const { return config_; }
 
-  // Time-series samples (empty unless config.timeline_sample_ms > 0).
+  // Time-series samples (empty unless config.run.timeline_sample_ms > 0).
   const TimelineRecorder& timeline() const { return timeline_; }
 
-  // Structured event trace (empty unless config.trace_enabled). Holds the
-  // most recent config.trace_capacity events; per-type counts cover the
+  // Structured event trace (empty unless config.run.trace_enabled). Holds the
+  // most recent config.run.trace_capacity events; per-type counts cover the
   // whole run.
   const TraceRecorder& trace() const { return trace_; }
 

@@ -32,7 +32,9 @@ class C2plScheduler : public WtpgSchedulerBase {
   int mpl() const { return mpl_; }
   uint64_t predicted_deadlocks() const { return predicted_deadlocks_; }
 
-  bool RetryDelayedOnGrant() const override { return false; }
+  SchedulerTraits traits() const override {
+    return {.retry_delayed_on_grant = false};
+  }
 
   void ExportCounters(CounterRegistry* registry) const override;
 

@@ -33,7 +33,9 @@ class GowScheduler : public WtpgSchedulerBase {
 
   uint64_t chain_rejections() const { return chain_rejections_; }
 
-  bool CostlyAdmission() const override { return true; }
+  SchedulerTraits traits() const override {
+    return {.costly_admission = true};
+  }
 
   void ExportCounters(CounterRegistry* registry) const override;
 

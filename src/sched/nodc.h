@@ -14,6 +14,10 @@ class NodcScheduler : public Scheduler {
  public:
   std::string name() const override { return "NODC"; }
 
+  SchedulerTraits traits() const override {
+    return {.checks_compatibility = false};
+  }
+
  protected:
   Decision DecideStartup(Transaction& txn) override {
     (void)txn;
@@ -23,8 +27,6 @@ class NodcScheduler : public Scheduler {
   Decision DecideLock(Transaction& txn, int step) override {
     return Decision{DecisionKind::kGrant, txn.step(step).file};
   }
-
-  bool ChecksCompatibility() const override { return false; }
 };
 
 }  // namespace wtpgsched

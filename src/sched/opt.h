@@ -28,7 +28,9 @@ class OptScheduler : public Scheduler {
 
   void OnClock(SimTime now) override { now_ = now; }
 
-  bool DefersWrites() const override { return true; }
+  SchedulerTraits traits() const override {
+    return {.defers_writes = true, .records_locks = false};
+  }
 
   bool ValidateAtCommit(Transaction& txn) override;
 
@@ -40,8 +42,6 @@ class OptScheduler : public Scheduler {
   Decision DecideStartup(Transaction& txn) override;
   Decision DecideLock(Transaction& txn, int step) override;
   void AfterCommit(Transaction& txn) override;
-
-  bool RecordsLocks() const override { return false; }
 
  private:
   bool validate_writes_;

@@ -32,10 +32,10 @@ Decision Scheduler::OnLockRequest(Transaction& txn, int step) {
   WTPG_CHECK(txn.NeedsLockAt(step));
   Decision d = DecideLock(txn, step);
   if (d.kind == DecisionKind::kGrant) {
-    if (RecordsLocks()) {
+    if (traits().records_locks) {
       const FileId file = txn.step(step).file;
       const LockMode mode = txn.RequestModeAt(step);
-      if (ChecksCompatibility()) {
+      if (traits().checks_compatibility) {
         lock_table_.Grant(file, txn.id(), mode);
       } else {
         lock_table_.ForceGrant(file, txn.id(), mode);

@@ -34,6 +34,32 @@ struct Decision {
   FileId file = kInvalidFile;
 };
 
+// Static capabilities of a scheduler, declared in one value struct instead
+// of a virtual per capability. The machine and the base-class grant path
+// read these; a scheduler that deviates from the defaults overrides
+// traits() with a one-line initializer.
+struct SchedulerTraits {
+  // Writes are deferred to commit (OPT's private workspace model). The
+  // machine logs write accesses at commit time for such schedulers and at
+  // scan time otherwise.
+  bool defers_writes = false;
+  // Each admission (re)test consumes control-node CPU, in which case the
+  // machine bounds how many parked startups it retests per wake event
+  // (config.run.admission_retry_limit). False for schedulers whose
+  // admission test is a plain lock-table scan.
+  bool costly_admission = false;
+  // A lock grant can flip earlier kDelay decisions, so the machine should
+  // retry delayed requests after each grant. True for the WTPG optimizers
+  // (their E()/plan comparisons change with every orientation); false for
+  // C2PL, whose delay reasons (predicted deadlock) only clear at commit —
+  // and whose saturated graphs make per-grant retries expensive.
+  bool retry_delayed_on_grant = true;
+  // Granted locks are recorded with compatibility checking (NODC clears
+  // this to force-grant; OPT clears records_locks to skip entirely).
+  bool checks_compatibility = true;
+  bool records_locks = true;
+};
+
 // Concurrency-control scheduler interface. The machine drives transactions
 // and consults the scheduler for admission and lock decisions; decisions run
 // as control-node CPU jobs whose service times come from the *Cost methods
@@ -70,23 +96,10 @@ class Scheduler {
   // schedulers are otherwise clock-free (only OPT uses it).
   virtual void OnClock(SimTime now) { (void)now; }
 
-  // Whether writes are deferred to commit (OPT's private workspace model).
-  // The machine logs write accesses at commit time for such schedulers and
-  // at scan time otherwise.
-  virtual bool DefersWrites() const { return false; }
+  // Declarative capabilities (see SchedulerTraits). Must be constant for
+  // the scheduler's lifetime.
+  virtual SchedulerTraits traits() const { return SchedulerTraits{}; }
 
-  // Whether each admission (re)test consumes control-node CPU, in which
-  // case the machine bounds how many parked startups it retests per wake
-  // event (config.admission_retry_limit). False for schedulers whose
-  // admission test is a plain lock-table scan.
-  virtual bool CostlyAdmission() const { return false; }
-
-  // Whether a lock grant can flip earlier kDelay decisions, so the machine
-  // should retry delayed requests after each grant. True for the WTPG
-  // optimizers (their E()/plan comparisons change with every orientation);
-  // false for C2PL, whose delay reasons (predicted deadlock) only clear at
-  // commit — and whose saturated graphs make per-grant retries expensive.
-  virtual bool RetryDelayedOnGrant() const { return true; }
   std::vector<FileId> OnCommit(Transaction& txn);
   std::vector<FileId> OnAbort(Transaction& txn);
 
@@ -122,11 +135,6 @@ class Scheduler {
 
   virtual void AfterCommit(Transaction& /*txn*/) {}
   virtual void AfterAbort(Transaction& /*txn*/) {}
-
-  // Whether granted locks are recorded with compatibility checking (NODC
-  // overrides to force-grant; OPT overrides RecordsLocks to skip entirely).
-  virtual bool ChecksCompatibility() const { return true; }
-  virtual bool RecordsLocks() const { return true; }
 
   // True when scheduler-internal tracing is on (guard event payload work).
   bool tracing() const { return trace_ != nullptr && trace_->enabled(); }

@@ -19,23 +19,23 @@ std::unique_ptr<Scheduler> CreateScheduler(const SimConfig& config) {
     case SchedulerKind::kAsl:
       return std::make_unique<AslScheduler>();
     case SchedulerKind::kC2pl:
-      return std::make_unique<C2plScheduler>(MsToTime(config.dd_time_ms),
-                                             config.mpl);
+      return std::make_unique<C2plScheduler>(MsToTime(config.costs.dd_time_ms),
+                                             config.machine.mpl);
     case SchedulerKind::kOpt:
       return std::make_unique<OptScheduler>(config.opt_validate_writes);
     case SchedulerKind::kGow:
-      return std::make_unique<GowScheduler>(MsToTime(config.top_time_ms),
-                                            MsToTime(config.chain_time_ms));
+      return std::make_unique<GowScheduler>(MsToTime(config.costs.top_time_ms),
+                                            MsToTime(config.costs.chain_time_ms));
     case SchedulerKind::kLow:
       return std::make_unique<LowScheduler>(config.low_k,
-                                            MsToTime(config.kwtpg_time_ms),
+                                            MsToTime(config.costs.kwtpg_time_ms),
                                             config.low_charge_per_eval);
     case SchedulerKind::kLowLb:
       return std::make_unique<LowLbScheduler>(
-          config.low_k, MsToTime(config.kwtpg_time_ms), config.low_lb_weight,
+          config.low_k, MsToTime(config.costs.kwtpg_time_ms), config.low_lb_weight,
           config.low_charge_per_eval);
     case SchedulerKind::kTwoPl:
-      return std::make_unique<TwoPlScheduler>(MsToTime(config.dd_time_ms));
+      return std::make_unique<TwoPlScheduler>(MsToTime(config.costs.dd_time_ms));
   }
   WTPG_CHECK(false) << "unknown scheduler kind";
   return nullptr;

@@ -1,0 +1,28 @@
+#ifndef WTPG_SCHED_UTIL_COMMON_FLAGS_H_
+#define WTPG_SCHED_UTIL_COMMON_FLAGS_H_
+
+#include "util/flags.h"
+
+namespace wtpgsched {
+
+// Flag sets shared by the command-line tools (wtpg_sim, wtpg_sweep), so
+// both spell them identically and FlagParser::Help() documents them once.
+// Tools call the Add* helpers before any tool-specific flags, then
+// HandleStandardFlags() right after declaring everything.
+
+// --config, --scheduler, --seed, --seeds, --jobs, --json, --log-level,
+// --help.
+void AddCommonToolFlags(FlagParser& flags);
+
+// --trace-jsonl, --trace-chrome, --trace-capacity.
+void AddTraceFlags(FlagParser& flags);
+
+// Parses argv and processes the boilerplate: on parse error prints the
+// error plus usage and returns 2; on --help prints usage and returns 0; on
+// a bad --log-level returns 2, otherwise applies it. Returns -1 when the
+// tool should continue.
+int HandleStandardFlags(FlagParser& flags, int argc, const char* const* argv);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_COMMON_FLAGS_H_

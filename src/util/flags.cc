@@ -103,6 +103,7 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       return Status::InvalidArgument(StrCat("unknown flag --", name));
     }
     Flag* flag = &it->second;
+    flag->was_set = true;
     if (!has_value) {
       if (flag->type == Type::kBool) {
         flag->bool_value = true;  // Bare --flag.
@@ -141,6 +142,12 @@ double FlagParser::GetDouble(const std::string& name) const {
 
 bool FlagParser::GetBool(const std::string& name) const {
   return Find(name, Type::kBool).bool_value;
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  WTPG_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.was_set;
 }
 
 std::string FlagParser::Help() const {

@@ -34,6 +34,10 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // True when the flag appeared on the command line (as opposed to holding
+  // its default). Lets tools overlay explicit flags on a --config file.
+  bool WasSet(const std::string& name) const;
+
   // Usage text listing all flags with defaults and help strings.
   std::string Help() const;
 
@@ -46,6 +50,7 @@ class FlagParser {
     int64_t int_value = 0;
     double double_value = 0.0;
     bool bool_value = false;
+    bool was_set = false;
   };
 
   Status SetValue(Flag* flag, const std::string& name,

@@ -18,10 +18,10 @@ namespace {
 SimConfig QuickConfig(SchedulerKind kind, double rate = 0.5) {
   SimConfig c;
   c.scheduler = kind;
-  c.num_files = 16;
-  c.horizon_ms = 200'000;
-  c.arrival_rate_tps = rate;
-  c.seed = 3;
+  c.machine.num_files = 16;
+  c.run.horizon_ms = 200'000;
+  c.workload.arrival_rate_tps = rate;
+  c.run.seed = 3;
   return c;
 }
 
@@ -45,7 +45,7 @@ TEST(ParallelRunTest, ReplicasReturnInSubmissionOrder) {
   std::vector<SimConfig> configs;
   for (int i = 0; i < 6; ++i) {
     SimConfig c = QuickConfig(SchedulerKind::kNodc);
-    c.seed = 10 + static_cast<uint64_t>(i);
+    c.run.seed = 10 + static_cast<uint64_t>(i);
     configs.push_back(c);
   }
   const std::vector<RunStats> batch = RunReplicas(configs, TestPattern(), 4);
@@ -111,7 +111,7 @@ TEST(ParallelRunTest, AggregateCountersAreSummedPerSeed) {
   uint64_t expected_blocked = 0;
   for (int i = 0; i < 2; ++i) {
     SimConfig replica = c;
-    replica.seed = c.seed + static_cast<uint64_t>(i);
+    replica.run.seed = c.run.seed + static_cast<uint64_t>(i);
     expected_blocked += RunSimulation(replica, TestPattern()).blocked;
   }
   uint64_t merged_blocked = 0;
@@ -134,7 +134,7 @@ TEST(ParallelRunTest, ConcurrentMachinesDoNotBleedState) {
   // across Machine instances.
   SimConfig low = QuickConfig(SchedulerKind::kLow, 0.8);
   SimConfig c2pl = QuickConfig(SchedulerKind::kC2pl, 0.6);
-  c2pl.seed = 17;
+  c2pl.run.seed = 17;
   const std::string low_expected =
       RunSimulation(low, TestPattern()).ToJson();
   const std::string c2pl_expected =

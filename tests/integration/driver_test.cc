@@ -13,15 +13,15 @@ namespace {
 SimConfig QuickConfig(SchedulerKind kind) {
   SimConfig c;
   c.scheduler = kind;
-  c.num_files = 16;
-  c.horizon_ms = 300'000;
-  c.seed = 3;
+  c.machine.num_files = 16;
+  c.run.horizon_ms = 300'000;
+  c.run.seed = 3;
   return c;
 }
 
 TEST(SimRunTest, AggregateAveragesSeeds) {
   SimConfig c = QuickConfig(SchedulerKind::kNodc);
-  c.arrival_rate_tps = 0.5;
+  c.workload.arrival_rate_tps = 0.5;
   const AggregateResult one = RunAggregate(c, Pattern::Experiment1(16), 1);
   const AggregateResult three = RunAggregate(c, Pattern::Experiment1(16), 3);
   EXPECT_EQ(one.num_seeds, 1);
@@ -32,7 +32,7 @@ TEST(SimRunTest, AggregateAveragesSeeds) {
 
 TEST(SimRunTest, SameConfigSameAggregate) {
   SimConfig c = QuickConfig(SchedulerKind::kLow);
-  c.arrival_rate_tps = 0.5;
+  c.workload.arrival_rate_tps = 0.5;
   const AggregateResult a = RunAggregate(c, Pattern::Experiment1(16), 2);
   const AggregateResult b = RunAggregate(c, Pattern::Experiment1(16), 2);
   EXPECT_DOUBLE_EQ(a.mean_response_s, b.mean_response_s);
@@ -79,13 +79,13 @@ TEST(SweepTest, TargetAboveCurveReturnsHighBracket) {
 
 TEST(SweepTest, TuneMplPicksBestResponseTime) {
   SimConfig c = QuickConfig(SchedulerKind::kC2pl);
-  c.arrival_rate_tps = 1.0;
+  c.workload.arrival_rate_tps = 1.0;
   const MplChoice choice =
       TuneMpl(c, Pattern::Experiment1(16), {1, 4, 1000}, 1);
   EXPECT_TRUE(choice.mpl == 1 || choice.mpl == 4 || choice.mpl == 1000);
   // The tuned choice can't be worse than plain C2PL (mpl = 1000 here).
   SimConfig raw = c;
-  raw.mpl = 1000;
+  raw.machine.mpl = 1000;
   const AggregateResult raw_result =
       RunAggregate(raw, Pattern::Experiment1(16), 1);
   EXPECT_LE(choice.result.mean_response_s, raw_result.mean_response_s + 1e-9);
@@ -101,10 +101,10 @@ TEST(ExperimentsTest, PaperSchedulerLineup) {
 TEST(ExperimentsTest, MakeConfigAppliesOverrides) {
   const SimConfig c = MakeConfig(SchedulerKind::kGow, 32, 4, 1.2, 0.5);
   EXPECT_EQ(c.scheduler, SchedulerKind::kGow);
-  EXPECT_EQ(c.num_files, 32);
-  EXPECT_EQ(c.dd, 4);
-  EXPECT_DOUBLE_EQ(c.arrival_rate_tps, 1.2);
-  EXPECT_DOUBLE_EQ(c.error_sigma, 0.5);
+  EXPECT_EQ(c.machine.num_files, 32);
+  EXPECT_EQ(c.machine.dd, 4);
+  EXPECT_DOUBLE_EQ(c.workload.arrival_rate_tps, 1.2);
+  EXPECT_DOUBLE_EQ(c.workload.error_sigma, 0.5);
   EXPECT_TRUE(c.Validate().ok());
 }
 

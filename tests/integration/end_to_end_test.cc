@@ -12,11 +12,11 @@ namespace {
 SimConfig BaseConfig(SchedulerKind kind, double rate_tps) {
   SimConfig c;
   c.scheduler = kind;
-  c.num_files = 16;
-  c.dd = 1;
-  c.arrival_rate_tps = rate_tps;
-  c.horizon_ms = 1'000'000;
-  c.seed = 11;
+  c.machine.num_files = 16;
+  c.machine.dd = 1;
+  c.workload.arrival_rate_tps = rate_tps;
+  c.run.horizon_ms = 1'000'000;
+  c.run.seed = 11;
   return c;
 }
 
@@ -39,7 +39,7 @@ TEST(EndToEndTest, NodcViolatesSerializabilityUnderContention) {
   // history must eventually contain a conflict cycle — demonstrating that
   // the checker has teeth and that NODC is only a bound.
   SimConfig c = BaseConfig(SchedulerKind::kNodc, 1.0);
-  c.horizon_ms = 2'000'000;
+  c.run.horizon_ms = 2'000'000;
   Machine m(c, Pattern::Experiment1(16));
   m.Run();
   EXPECT_FALSE(CheckConflictSerializability(m.schedule_log()).serializable);
@@ -61,7 +61,7 @@ TEST(EndToEndTest, ContentionOrderingAtModerateLoad) {
   // (ASL/GOW/LOW) must beat C2PL and OPT on mean response time — the
   // paper's headline Table-2 ordering.
   SimConfig base = BaseConfig(SchedulerKind::kNodc, 0.55);
-  base.horizon_ms = 2'000'000;
+  base.run.horizon_ms = 2'000'000;
   auto run = [&](SchedulerKind kind) {
     SimConfig c = base;
     c.scheduler = kind;
@@ -90,9 +90,9 @@ TEST(EndToEndTest, ParallelismImprovesResponseTime) {
   for (SchedulerKind kind : {SchedulerKind::kAsl, SchedulerKind::kGow,
                              SchedulerKind::kLow}) {
     SimConfig c1 = BaseConfig(kind, 0.9);
-    c1.horizon_ms = 2'000'000;
+    c1.run.horizon_ms = 2'000'000;
     SimConfig c8 = c1;
-    c8.dd = 8;
+    c8.machine.dd = 8;
     Machine m1(c1, Pattern::Experiment1(16));
     Machine m8(c8, Pattern::Experiment1(16));
     const double rt1 = m1.Run().mean_response_s;
@@ -105,7 +105,7 @@ TEST(EndToEndTest, HotSetFavorsLowOverAsl) {
   // Paper Table 4: when updating a hot set, ASL is the worst locking
   // scheduler and LOW the best.
   SimConfig base = BaseConfig(SchedulerKind::kAsl, 0.5);
-  base.horizon_ms = 2'000'000;
+  base.run.horizon_ms = 2'000'000;
   auto run = [&](SchedulerKind kind) {
     SimConfig c = base;
     c.scheduler = kind;
@@ -121,8 +121,8 @@ TEST(EndToEndTest, DeclarationErrorsDegradeLowMoreThanGow) {
   // Paper Table 5 direction: LOW is more sensitive to wrong declarations.
   auto run = [&](SchedulerKind kind, double sigma) {
     SimConfig c = BaseConfig(kind, 0.6);
-    c.error_sigma = sigma;
-    c.horizon_ms = 2'000'000;
+    c.workload.error_sigma = sigma;
+    c.run.horizon_ms = 2'000'000;
     Machine m(c, Pattern::Experiment1(16));
     return m.Run().mean_response_s;
   };
@@ -139,7 +139,7 @@ TEST(EndToEndTest, ErrorsStillSerializable) {
   // stay serializable.
   for (SchedulerKind kind : {SchedulerKind::kGow, SchedulerKind::kLow}) {
     SimConfig c = BaseConfig(kind, 0.6);
-    c.error_sigma = 10.0;
+    c.workload.error_sigma = 10.0;
     Machine m(c, Pattern::Experiment1(16));
     m.Run();
     EXPECT_TRUE(CheckConflictSerializability(m.schedule_log()).serializable)
@@ -158,11 +158,11 @@ TEST(EndToEndTest, TraditionalTwoPlWorseThanCautious) {
   // and suffers chains of blocking; at a moderate batch load the
   // declaration-based schedulers beat it.
   SimConfig c;
-  c.num_files = 16;
-  c.dd = 1;
-  c.arrival_rate_tps = 0.5;
-  c.horizon_ms = 2'000'000;
-  c.seed = 23;
+  c.machine.num_files = 16;
+  c.machine.dd = 1;
+  c.workload.arrival_rate_tps = 0.5;
+  c.run.horizon_ms = 2'000'000;
+  c.run.seed = 23;
   auto run = [&](SchedulerKind kind) {
     SimConfig cfg = c;
     cfg.scheduler = kind;

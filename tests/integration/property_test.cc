@@ -35,12 +35,12 @@ TEST_P(SchedulerPropertyTest, DrainsAndStaysConsistent) {
   const SweepCase param = GetParam();
   SimConfig c;
   c.scheduler = param.scheduler;
-  c.num_files = 16;
-  c.dd = param.dd;
-  c.arrival_rate_tps = param.rate_tps;
-  c.max_arrivals = 60;
-  c.horizon_ms = 20'000'000;  // Generous: the workload must drain first.
-  c.seed = param.seed;
+  c.machine.num_files = 16;
+  c.machine.dd = param.dd;
+  c.workload.arrival_rate_tps = param.rate_tps;
+  c.workload.max_arrivals = 60;
+  c.run.horizon_ms = 20'000'000;  // Generous: the workload must drain first.
+  c.run.seed = param.seed;
   Machine m(c, param.hot_set ? Pattern::Experiment2()
                              : Pattern::Experiment1(16));
   const RunStats stats = m.Run();
@@ -94,12 +94,12 @@ class GraphInvariantTest : public testing::TestWithParam<SchedulerKind> {};
 TEST_P(GraphInvariantTest, GraphEmptyAfterDrain) {
   SimConfig c;
   c.scheduler = GetParam();
-  c.num_files = 8;
-  c.dd = 2;
-  c.arrival_rate_tps = 1.0;
-  c.max_arrivals = 40;
-  c.horizon_ms = 20'000'000;
-  c.seed = 5;
+  c.machine.num_files = 8;
+  c.machine.dd = 2;
+  c.workload.arrival_rate_tps = 1.0;
+  c.workload.max_arrivals = 40;
+  c.run.horizon_ms = 20'000'000;
+  c.run.seed = 5;
   Machine m(c, Pattern::Experiment1(8));
   m.Run();
   auto& sched = static_cast<WtpgSchedulerBase&>(m.scheduler());

@@ -7,16 +7,16 @@ namespace {
 
 TEST(ConfigTest, DefaultsMatchTable1) {
   SimConfig c;
-  EXPECT_EQ(c.num_nodes, 8);
-  EXPECT_DOUBLE_EQ(c.obj_time_ms, 1000.0);
-  EXPECT_DOUBLE_EQ(c.msg_time_ms, 2.0);
-  EXPECT_DOUBLE_EQ(c.sot_time_ms, 2.0);
-  EXPECT_DOUBLE_EQ(c.cot_time_ms, 7.0);
-  EXPECT_DOUBLE_EQ(c.dd_time_ms, 1.0);
-  EXPECT_DOUBLE_EQ(c.kwtpg_time_ms, 10.0);
-  EXPECT_DOUBLE_EQ(c.chain_time_ms, 30.0);
-  EXPECT_DOUBLE_EQ(c.top_time_ms, 5.0);
-  EXPECT_DOUBLE_EQ(c.horizon_ms, 2'000'000);
+  EXPECT_EQ(c.machine.num_nodes, 8);
+  EXPECT_DOUBLE_EQ(c.costs.obj_time_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(c.costs.msg_time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(c.costs.sot_time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(c.costs.cot_time_ms, 7.0);
+  EXPECT_DOUBLE_EQ(c.costs.dd_time_ms, 1.0);
+  EXPECT_DOUBLE_EQ(c.costs.kwtpg_time_ms, 10.0);
+  EXPECT_DOUBLE_EQ(c.costs.chain_time_ms, 30.0);
+  EXPECT_DOUBLE_EQ(c.costs.top_time_ms, 5.0);
+  EXPECT_DOUBLE_EQ(c.run.horizon_ms, 2'000'000);
   EXPECT_EQ(c.low_k, 2);
   EXPECT_TRUE(c.Validate().ok());
 }
@@ -29,37 +29,37 @@ TEST(ConfigTest, HorizonConversion) {
 
 TEST(ConfigTest, RejectsBadDd) {
   SimConfig c;
-  c.dd = 0;
+  c.machine.dd = 0;
   EXPECT_FALSE(c.Validate().ok());
-  c.dd = 9;  // > num_nodes.
+  c.machine.dd = 9;  // > num_nodes.
   EXPECT_FALSE(c.Validate().ok());
-  c.dd = 8;
+  c.machine.dd = 8;
   EXPECT_TRUE(c.Validate().ok());
 }
 
 TEST(ConfigTest, RejectsNonPositiveRate) {
   SimConfig c;
-  c.arrival_rate_tps = 0.0;
+  c.workload.arrival_rate_tps = 0.0;
   EXPECT_FALSE(c.Validate().ok());
 }
 
 TEST(ConfigTest, RejectsNegativeCosts) {
   SimConfig c;
-  c.msg_time_ms = -1.0;
+  c.costs.msg_time_ms = -1.0;
   EXPECT_FALSE(c.Validate().ok());
 }
 
 TEST(ConfigTest, RejectsWarmupPastHorizon) {
   SimConfig c;
-  c.warmup_ms = c.horizon_ms;
+  c.run.warmup_ms = c.run.horizon_ms;
   EXPECT_FALSE(c.Validate().ok());
 }
 
 TEST(ConfigTest, RejectsBadMplAndK) {
   SimConfig c;
-  c.mpl = 0;
+  c.machine.mpl = 0;
   EXPECT_FALSE(c.Validate().ok());
-  c.mpl = 1;
+  c.machine.mpl = 1;
   c.low_k = -1;
   EXPECT_FALSE(c.Validate().ok());
 }

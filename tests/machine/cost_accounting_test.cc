@@ -13,17 +13,17 @@ namespace {
 SimConfig OneShotConfig(SchedulerKind kind) {
   SimConfig c;
   c.scheduler = kind;
-  c.num_files = 16;
-  c.dd = 1;
-  c.arrival_rate_tps = 1.0;
-  c.max_arrivals = 1;
-  c.horizon_ms = 100'000;
-  c.seed = 3;
+  c.machine.num_files = 16;
+  c.machine.dd = 1;
+  c.workload.arrival_rate_tps = 1.0;
+  c.workload.max_arrivals = 1;
+  c.run.horizon_ms = 100'000;
+  c.run.seed = 3;
   return c;
 }
 
 double CnBusyMs(const RunStats& stats, const SimConfig& c) {
-  return stats.cn_utilization * c.horizon_ms;
+  return stats.cn_utilization * c.run.horizon_ms;
 }
 
 TEST(CostAccountingTest, NodcControlNodeTime) {
@@ -82,7 +82,7 @@ TEST(CostAccountingTest, ResponseTimeDecomposition) {
 TEST(CostAccountingTest, ResponseTimeAtDd8) {
   // Scan time 7.2/8 = 0.9 s plus the same 25 ms of CN work.
   SimConfig c = OneShotConfig(SchedulerKind::kNodc);
-  c.dd = 8;
+  c.machine.dd = 8;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_NEAR(stats.mean_response_s, 0.925, 1e-6);
@@ -93,11 +93,11 @@ TEST(CostAccountingTest, DpnBusyTimeEqualsScanDemand) {
   // must equal the demand regardless of DD.
   for (int dd : {1, 2, 8}) {
     SimConfig c = OneShotConfig(SchedulerKind::kNodc);
-    c.dd = dd;
+    c.machine.dd = dd;
     Machine m(c, Pattern::Experiment1(16));
     const RunStats stats = m.Run();
     const double total_busy_s =
-        stats.mean_dpn_utilization * 8 * (c.horizon_ms / 1000.0);
+        stats.mean_dpn_utilization * 8 * (c.run.horizon_ms / 1000.0);
     EXPECT_NEAR(total_busy_s, 7.2, 1e-6) << "dd=" << dd;
   }
 }

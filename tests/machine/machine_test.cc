@@ -8,18 +8,18 @@ namespace {
 SimConfig SmallConfig(SchedulerKind kind) {
   SimConfig c;
   c.scheduler = kind;
-  c.num_files = 16;
-  c.dd = 1;
-  c.arrival_rate_tps = 0.3;  // Light load.
-  c.horizon_ms = 400'000;
-  c.seed = 7;
+  c.machine.num_files = 16;
+  c.machine.dd = 1;
+  c.workload.arrival_rate_tps = 0.3;  // Light load.
+  c.run.horizon_ms = 400'000;
+  c.run.seed = 7;
   return c;
 }
 
 TEST(MachineTest, SingleTransactionLifecycle) {
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.max_arrivals = 1;
-  c.horizon_ms = 100'000;
+  c.workload.max_arrivals = 1;
+  c.run.horizon_ms = 100'000;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(stats.arrivals, 1u);
@@ -34,9 +34,9 @@ TEST(MachineTest, SingleTransactionLifecycle) {
 TEST(MachineTest, ResponseTimeScalesWithDeclustering) {
   // One isolated transaction at DD=8 finishes ~8x faster (scan-wise).
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.max_arrivals = 1;
-  c.dd = 8;
-  c.horizon_ms = 100'000;
+  c.workload.max_arrivals = 1;
+  c.machine.dd = 8;
+  c.run.horizon_ms = 100'000;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(stats.completions, 1u);
@@ -52,8 +52,8 @@ TEST(MachineTest, AllSchedulersDrainFiniteWorkload) {
         SchedulerKind::kOpt, SchedulerKind::kGow, SchedulerKind::kLow,
         SchedulerKind::kLowLb}) {
     SimConfig c = SmallConfig(kind);
-    c.max_arrivals = 40;
-    c.horizon_ms = 3'000'000;
+    c.workload.max_arrivals = 40;
+    c.run.horizon_ms = 3'000'000;
     Machine m(c, Pattern::Experiment1(16));
     const RunStats stats = m.Run();
     EXPECT_EQ(stats.arrivals, 40u) << SchedulerKindName(kind);
@@ -64,7 +64,7 @@ TEST(MachineTest, AllSchedulersDrainFiniteWorkload) {
 
 TEST(MachineTest, DeterministicAcrossRuns) {
   SimConfig c = SmallConfig(SchedulerKind::kLow);
-  c.max_arrivals = 30;
+  c.workload.max_arrivals = 30;
   Machine m1(c, Pattern::Experiment1(16));
   Machine m2(c, Pattern::Experiment1(16));
   const RunStats s1 = m1.Run();
@@ -78,9 +78,9 @@ TEST(MachineTest, DeterministicAcrossRuns) {
 
 TEST(MachineTest, SeedChangesWorkload) {
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.max_arrivals = 30;
+  c.workload.max_arrivals = 30;
   SimConfig c2 = c;
-  c2.seed = 8;
+  c2.run.seed = 8;
   Machine m1(c, Pattern::Experiment1(16));
   Machine m2(c2, Pattern::Experiment1(16));
   EXPECT_NE(m1.Run().mean_response_s, m2.Run().mean_response_s);
@@ -88,9 +88,9 @@ TEST(MachineTest, SeedChangesWorkload) {
 
 TEST(MachineTest, MplOneSerializesC2pl) {
   SimConfig c = SmallConfig(SchedulerKind::kC2pl);
-  c.mpl = 1;
-  c.max_arrivals = 10;
-  c.horizon_ms = 2'000'000;
+  c.machine.mpl = 1;
+  c.workload.max_arrivals = 10;
+  c.run.horizon_ms = 2'000'000;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(stats.completions, 10u);
@@ -101,9 +101,9 @@ TEST(MachineTest, MplOneSerializesC2pl) {
 
 TEST(MachineTest, OptRecordsRestartsUnderContention) {
   SimConfig c = SmallConfig(SchedulerKind::kOpt);
-  c.arrival_rate_tps = 0.8;
-  c.max_arrivals = 200;
-  c.horizon_ms = 10'000'000;
+  c.workload.arrival_rate_tps = 0.8;
+  c.workload.max_arrivals = 200;
+  c.run.horizon_ms = 10'000'000;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(stats.completions, 200u);
@@ -114,9 +114,9 @@ TEST(MachineTest, LockersNeverRestart) {
   for (SchedulerKind kind : {SchedulerKind::kAsl, SchedulerKind::kC2pl,
                              SchedulerKind::kGow, SchedulerKind::kLow}) {
     SimConfig c = SmallConfig(kind);
-    c.arrival_rate_tps = 0.7;
-    c.max_arrivals = 100;
-    c.horizon_ms = 10'000'000;
+    c.workload.arrival_rate_tps = 0.7;
+    c.workload.max_arrivals = 100;
+    c.run.horizon_ms = 10'000'000;
     Machine m(c, Pattern::Experiment1(16));
     const RunStats stats = m.Run();
     EXPECT_EQ(stats.restarts, 0u) << SchedulerKindName(kind);
@@ -126,7 +126,7 @@ TEST(MachineTest, LockersNeverRestart) {
 
 TEST(MachineTest, UtilizationsWithinBounds) {
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.arrival_rate_tps = 0.9;
+  c.workload.arrival_rate_tps = 0.9;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_GT(stats.mean_dpn_utilization, 0.3);
@@ -137,8 +137,8 @@ TEST(MachineTest, UtilizationsWithinBounds) {
 
 TEST(MachineTest, WarmupExcludesEarlyCompletions) {
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.max_arrivals = 20;
-  c.warmup_ms = 399'000;  // Nearly the whole horizon.
+  c.workload.max_arrivals = 20;
+  c.run.warmup_ms = 399'000;  // Nearly the whole horizon.
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(stats.completions, 20u);
@@ -147,7 +147,7 @@ TEST(MachineTest, WarmupExcludesEarlyCompletions) {
 
 TEST(MachineTest, BacklogProbeReflectsQueuedWork) {
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.max_arrivals = 0;
+  c.workload.max_arrivals = 0;
   Machine m(c, Pattern::Experiment1(16));
   // Before running, no work anywhere.
   EXPECT_DOUBLE_EQ(m.BacklogObjectsForFile(0), 0.0);
@@ -155,8 +155,8 @@ TEST(MachineTest, BacklogProbeReflectsQueuedWork) {
 
 TEST(MachineTest, ScheduleLogRecordsCommits) {
   SimConfig c = SmallConfig(SchedulerKind::kLow);
-  c.max_arrivals = 15;
-  c.horizon_ms = 2'000'000;
+  c.workload.max_arrivals = 15;
+  c.run.horizon_ms = 2'000'000;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(stats.completions, 15u);
@@ -167,7 +167,7 @@ TEST(MachineTest, ScheduleLogRecordsCommits) {
 
 TEST(MachineDeathTest, RunTwiceDies) {
   SimConfig c = SmallConfig(SchedulerKind::kNodc);
-  c.max_arrivals = 1;
+  c.workload.max_arrivals = 1;
   Machine m(c, Pattern::Experiment1(16));
   m.Run();
   EXPECT_DEATH(m.Run(), "twice");

@@ -21,11 +21,11 @@ TEST(MixedWorkloadMachineTest, DrainsAndSerializable) {
                              SchedulerKind::kAsl, SchedulerKind::kTwoPl}) {
     SimConfig c;
     c.scheduler = kind;
-    c.num_files = 16;
-    c.arrival_rate_tps = 2.0;
-    c.max_arrivals = 80;
-    c.horizon_ms = 10'000'000;
-    c.seed = 17;
+    c.machine.num_files = 16;
+    c.workload.arrival_rate_tps = 2.0;
+    c.workload.max_arrivals = 80;
+    c.run.horizon_ms = 10'000'000;
+    c.run.seed = 17;
     Machine m(c, ShortPlusBatchMix());
     const RunStats stats = m.Run();
     EXPECT_EQ(stats.completions, 80u) << SchedulerKindName(kind);
@@ -39,10 +39,10 @@ TEST(MixedWorkloadMachineTest, MedianReflectsShortClass) {
   // (which the batch class dominates).
   SimConfig c;
   c.scheduler = SchedulerKind::kLow;
-  c.num_files = 16;
-  c.arrival_rate_tps = 2.0;
-  c.horizon_ms = 1'000'000;
-  c.seed = 18;
+  c.machine.num_files = 16;
+  c.workload.arrival_rate_tps = 2.0;
+  c.run.horizon_ms = 1'000'000;
+  c.run.seed = 18;
   Machine m(c, ShortPlusBatchMix());
   const RunStats stats = m.Run();
   EXPECT_GT(stats.completions_measured, 100u);
@@ -52,8 +52,8 @@ TEST(MixedWorkloadMachineTest, MedianReflectsShortClass) {
 TEST(MixedWorkloadMachineTest, MixValidatedAgainstNumFiles) {
   SimConfig c;
   c.scheduler = SchedulerKind::kNodc;
-  c.num_files = 8;  // Experiment2 needs 16.
-  c.arrival_rate_tps = 1.0;
+  c.machine.num_files = 8;  // Experiment2 needs 16.
+  c.workload.arrival_rate_tps = 1.0;
   std::vector<WeightedPattern> mix;
   mix.push_back(WeightedPattern{Pattern::Experiment2(), 1.0});
   EXPECT_DEATH(Machine(c, std::move(mix)), "beyond num_files");

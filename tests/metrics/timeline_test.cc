@@ -46,9 +46,9 @@ TEST(TimelineRecorderTest, CsvRoundTrip) {
 TEST(MachineTimelineTest, DisabledByDefault) {
   SimConfig c;
   c.scheduler = SchedulerKind::kNodc;
-  c.arrival_rate_tps = 0.5;
-  c.horizon_ms = 100'000;
-  c.max_arrivals = 5;
+  c.workload.arrival_rate_tps = 0.5;
+  c.run.horizon_ms = 100'000;
+  c.workload.max_arrivals = 5;
   Machine m(c, Pattern::Experiment1(16));
   m.Run();
   EXPECT_TRUE(m.timeline().empty());
@@ -57,10 +57,10 @@ TEST(MachineTimelineTest, DisabledByDefault) {
 TEST(MachineTimelineTest, SamplesAtConfiguredPeriod) {
   SimConfig c;
   c.scheduler = SchedulerKind::kNodc;
-  c.arrival_rate_tps = 0.5;
-  c.horizon_ms = 100'000;
-  c.timeline_sample_ms = 10'000;
-  c.seed = 4;
+  c.workload.arrival_rate_tps = 0.5;
+  c.run.horizon_ms = 100'000;
+  c.run.timeline_sample_ms = 10'000;
+  c.run.seed = 4;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   ASSERT_EQ(m.timeline().samples().size(), 10u);
@@ -74,10 +74,10 @@ TEST(MachineTimelineTest, SamplesAtConfiguredPeriod) {
 TEST(MachineTimelineTest, ParkedReflectsContention) {
   SimConfig c;
   c.scheduler = SchedulerKind::kAsl;
-  c.arrival_rate_tps = 1.2;  // Saturating: admission queue builds up.
-  c.horizon_ms = 500'000;
-  c.timeline_sample_ms = 50'000;
-  c.seed = 6;
+  c.workload.arrival_rate_tps = 1.2;  // Saturating: admission queue builds up.
+  c.run.horizon_ms = 500'000;
+  c.run.timeline_sample_ms = 50'000;
+  c.run.seed = 6;
   Machine m(c, Pattern::Experiment1(16));
   m.Run();
   uint64_t max_parked = 0;

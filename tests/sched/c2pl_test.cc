@@ -98,7 +98,7 @@ TEST(C2plTest, LockDecisionCostIsDdtime) {
 
 TEST(C2plTest, NoRetryDelayedOnGrant) {
   C2plScheduler sched(0);
-  EXPECT_FALSE(sched.RetryDelayedOnGrant());
+  EXPECT_FALSE(sched.traits().retry_delayed_on_grant);
 }
 
 TEST(C2plTest, SharedRequestsBothGranted) {

@@ -31,7 +31,7 @@ TEST(SchedulerFactoryTest, CreatesEveryKindWithMatchingName) {
 TEST(SchedulerFactoryTest, C2plMplShowsInName) {
   SimConfig config;
   config.scheduler = SchedulerKind::kC2pl;
-  config.mpl = 4;
+  config.machine.mpl = 4;
   EXPECT_EQ(CreateScheduler(config)->name(), "C2PL+M4");
 }
 
@@ -43,18 +43,18 @@ TEST(SchedulerFactoryTest, LowKRespected) {
 }
 
 TEST(SchedulerFactoryTest, OnlyOptAndTwoPlRestartCapable) {
-  // DefersWrites marks OPT's private-workspace model.
+  // traits().defers_writes marks OPT's private-workspace model.
   for (SchedulerKind kind :
        {SchedulerKind::kNodc, SchedulerKind::kAsl, SchedulerKind::kC2pl,
         SchedulerKind::kGow, SchedulerKind::kLow, SchedulerKind::kTwoPl}) {
     SimConfig config;
     config.scheduler = kind;
-    EXPECT_FALSE(CreateScheduler(config)->DefersWrites())
+    EXPECT_FALSE(CreateScheduler(config)->traits().defers_writes)
         << SchedulerKindName(kind);
   }
   SimConfig config;
   config.scheduler = SchedulerKind::kOpt;
-  EXPECT_TRUE(CreateScheduler(config)->DefersWrites());
+  EXPECT_TRUE(CreateScheduler(config)->traits().defers_writes);
 }
 
 }  // namespace

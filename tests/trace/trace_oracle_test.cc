@@ -111,16 +111,16 @@ TEST(TraceOracleTest, AbortedIncarnationsAreIgnored) {
 SimConfig TracedConfig(SchedulerKind kind) {
   SimConfig c;
   c.scheduler = kind;
-  c.num_files = 16;
-  c.dd = 1;
+  c.machine.num_files = 16;
+  c.machine.dd = 1;
   // A contended burst: 8 transactions arriving ~2/s against 1 s/object
   // scans forces real conflicts at every scheduler.
-  c.arrival_rate_tps = 2.0;
-  c.max_arrivals = 8;
-  c.horizon_ms = 2'000'000;
-  c.seed = 17;
-  c.trace_enabled = true;
-  c.trace_capacity = 1 << 16;
+  c.workload.arrival_rate_tps = 2.0;
+  c.workload.max_arrivals = 8;
+  c.run.horizon_ms = 2'000'000;
+  c.run.seed = 17;
+  c.run.trace_enabled = true;
+  c.run.trace_capacity = 1 << 16;
   return c;
 }
 
@@ -146,8 +146,8 @@ TEST(TraceOracleTest, EverySchedulerExceptNodcYieldsAcyclicTraces) {
 
 TEST(TraceOracleTest, SummaryReconcilesWithRunStats) {
   SimConfig c = TracedConfig(SchedulerKind::kLow);
-  c.arrival_rate_tps = 1.2;
-  c.max_arrivals = 30;
+  c.workload.arrival_rate_tps = 1.2;
+  c.workload.max_arrivals = 30;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   ASSERT_GT(stats.completions, 0u);
@@ -195,7 +195,7 @@ TEST(TraceOracleTest, RunStatsCountersIncludeTraceAndSchedulerCounts) {
 
 TEST(TraceOracleTest, TracingDisabledLeavesNoTraceCounters) {
   SimConfig c = TracedConfig(SchedulerKind::kLow);
-  c.trace_enabled = false;
+  c.run.trace_enabled = false;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
   EXPECT_EQ(m.trace().total_recorded(), 0u);

@@ -107,27 +107,27 @@ int main(int argc, char** argv) {
 
   SimConfig config;
   config.scheduler = it->second;
-  config.num_files = static_cast<int>(flags.GetInt("num-files"));
-  config.num_nodes = static_cast<int>(flags.GetInt("num-nodes"));
-  config.dd = static_cast<int>(flags.GetInt("dd"));
-  config.arrival_rate_tps = flags.GetDouble("rate");
-  config.horizon_ms = flags.GetDouble("horizon-ms");
-  config.warmup_ms = flags.GetDouble("warmup-ms");
-  config.error_sigma = flags.GetDouble("sigma");
+  config.machine.num_files = static_cast<int>(flags.GetInt("num-files"));
+  config.machine.num_nodes = static_cast<int>(flags.GetInt("num-nodes"));
+  config.machine.dd = static_cast<int>(flags.GetInt("dd"));
+  config.workload.arrival_rate_tps = flags.GetDouble("rate");
+  config.run.horizon_ms = flags.GetDouble("horizon-ms");
+  config.run.warmup_ms = flags.GetDouble("warmup-ms");
+  config.workload.error_sigma = flags.GetDouble("sigma");
   config.low_k = static_cast<int>(flags.GetInt("low-k"));
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  config.max_arrivals = static_cast<uint64_t>(flags.GetInt("max-arrivals"));
+  config.run.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.workload.max_arrivals = static_cast<uint64_t>(flags.GetInt("max-arrivals"));
   if (flags.GetInt("mpl") > 0) {
-    config.mpl = static_cast<int>(flags.GetInt("mpl"));
+    config.machine.mpl = static_cast<int>(flags.GetInt("mpl"));
   }
   if (!flags.GetString("timeline-csv").empty()) {
-    config.timeline_sample_ms = flags.GetDouble("timeline-ms");
+    config.run.timeline_sample_ms = flags.GetDouble("timeline-ms");
   }
   const std::string trace_jsonl = flags.GetString("trace-jsonl");
   const std::string trace_chrome = flags.GetString("trace-chrome");
   if (!trace_jsonl.empty() || !trace_chrome.empty()) {
-    config.trace_enabled = true;
-    config.trace_capacity =
+    config.run.trace_enabled = true;
+    config.run.trace_capacity =
         static_cast<uint64_t>(flags.GetInt("trace-capacity"));
   }
   status = config.Validate();
@@ -136,10 +136,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Pattern pattern = Pattern::Experiment1(config.num_files);
+  Pattern pattern = Pattern::Experiment1(config.machine.num_files);
   if (!flags.GetString("pattern").empty()) {
     StatusOr<Pattern> parsed =
-        ParsePattern(flags.GetString("pattern"), config.num_files);
+        ParsePattern(flags.GetString("pattern"), config.machine.num_files);
     if (!parsed.ok()) {
       std::fprintf(stderr, "bad --pattern: %s\n",
                    parsed.status().ToString().c_str());
@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
     std::printf("scheduler          %s\n",
                 SchedulerKindName(config.scheduler));
     std::printf("seeds              %d (base seed %llu)\n", agg.num_seeds,
-                static_cast<unsigned long long>(config.seed));
+                static_cast<unsigned long long>(config.run.seed));
     std::printf("mean response      %.2f s\n", agg.mean_response_s);
     std::printf("throughput         %.3f TPS\n", agg.throughput_tps);
     std::printf("completions        %.1f per seed\n", agg.completions);
@@ -214,10 +214,10 @@ int main(int argc, char** argv) {
   if (!trace_jsonl.empty() || !trace_chrome.empty()) {
     TraceMeta meta;
     meta.scheduler = machine.scheduler().name();
-    meta.num_nodes = config.num_nodes;
-    meta.num_files = config.num_files;
-    meta.dd = config.dd;
-    meta.seed = config.seed;
+    meta.num_nodes = config.machine.num_nodes;
+    meta.num_files = config.machine.num_files;
+    meta.dd = config.machine.dd;
+    meta.seed = config.run.seed;
     const std::vector<TraceEvent> events = machine.trace().Snapshot();
     if (!trace_jsonl.empty()) {
       const Status written = WriteJsonlTrace(events, meta, stats.counters,

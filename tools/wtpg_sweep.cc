@@ -80,19 +80,19 @@ int main(int argc, char** argv) {
 
   SimConfig config;
   config.scheduler = it->second;
-  config.num_files = static_cast<int>(flags.GetInt("num-files"));
-  config.dd = static_cast<int>(flags.GetInt("dd"));
-  config.error_sigma = flags.GetDouble("sigma");
-  config.horizon_ms = flags.GetDouble("horizon-ms");
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  config.arrival_rate_tps = flags.GetDouble("rate");
+  config.machine.num_files = static_cast<int>(flags.GetInt("num-files"));
+  config.machine.dd = static_cast<int>(flags.GetInt("dd"));
+  config.workload.error_sigma = flags.GetDouble("sigma");
+  config.run.horizon_ms = flags.GetDouble("horizon-ms");
+  config.run.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.workload.arrival_rate_tps = flags.GetDouble("rate");
 
   Pattern pattern = flags.GetString("workload") == "exp2"
                         ? Pattern::Experiment2()
-                        : Pattern::Experiment1(config.num_files);
+                        : Pattern::Experiment1(config.machine.num_files);
   if (!flags.GetString("pattern").empty()) {
     StatusOr<Pattern> parsed =
-        ParsePattern(flags.GetString("pattern"), config.num_files);
+        ParsePattern(flags.GetString("pattern"), config.machine.num_files);
     if (!parsed.ok()) {
       std::fprintf(stderr, "bad --pattern: %s\n",
                    parsed.status().ToString().c_str());
