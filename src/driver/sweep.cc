@@ -124,4 +124,24 @@ std::vector<int> DefaultMplCandidates() {
   return {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
 }
 
+std::vector<FaultSweepPoint> SweepFaultRate(
+    const SimConfig& base, const Pattern& pattern,
+    const std::vector<double>& mttf_ms_values, int num_seeds, int jobs) {
+  std::vector<SimConfig> bases;
+  bases.reserve(mttf_ms_values.size());
+  for (double mttf_ms : mttf_ms_values) {
+    SimConfig config = base;
+    config.fault.dpn_mttf_ms = mttf_ms;
+    bases.push_back(config);
+  }
+  const std::vector<AggregateResult> results =
+      RunAggregates(bases, pattern, num_seeds, jobs);
+  std::vector<FaultSweepPoint> points;
+  points.reserve(mttf_ms_values.size());
+  for (size_t i = 0; i < mttf_ms_values.size(); ++i) {
+    points.push_back(FaultSweepPoint{mttf_ms_values[i], results[i]});
+  }
+  return points;
+}
+
 }  // namespace wtpgsched

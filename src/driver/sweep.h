@@ -65,6 +65,18 @@ MplChoice TuneMpl(const SimConfig& base, const Pattern& pattern,
 // Default MPL candidate ladder for the tuner.
 std::vector<int> DefaultMplCandidates();
 
+// Fault-churn sweep: one data point per DPN mean-time-to-failure value
+// (0 = fault-free baseline), with the rest of base.fault kept intact. All
+// mttf x seed replicas go through one batch.
+struct FaultSweepPoint {
+  double mttf_ms = 0.0;
+  AggregateResult result;
+};
+
+std::vector<FaultSweepPoint> SweepFaultRate(
+    const SimConfig& base, const Pattern& pattern,
+    const std::vector<double>& mttf_ms_values, int num_seeds, int jobs = 0);
+
 }  // namespace wtpgsched
 
 #endif  // WTPG_SCHED_DRIVER_SWEEP_H_

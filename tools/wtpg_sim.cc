@@ -11,36 +11,24 @@
 //   wtpg_sim --scheduler=2pl --verify   # serializability check at the end
 
 #include <cstdio>
-#include <map>
 
 #include "analysis/serializability.h"
 #include "driver/sim_run.h"
+#include "fault/fault_flags.h"
 #include "machine/machine.h"
 #include "trace/trace_export.h"
-#include "util/flags.h"
+#include "util/common_flags.h"
 #include "util/logging.h"
 #include "workload/pattern_parser.h"
 #include "wtpg/dot.h"
 
 using namespace wtpgsched;
 
-namespace {
-
-const std::map<std::string, SchedulerKind>& SchedulerNames() {
-  static const auto* names = new std::map<std::string, SchedulerKind>{
-      {"nodc", SchedulerKind::kNodc}, {"asl", SchedulerKind::kAsl},
-      {"c2pl", SchedulerKind::kC2pl}, {"opt", SchedulerKind::kOpt},
-      {"gow", SchedulerKind::kGow},   {"low", SchedulerKind::kLow},
-      {"low-lb", SchedulerKind::kLowLb}, {"2pl", SchedulerKind::kTwoPl}};
-  return *names;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   FlagParser flags;
-  flags.AddString("scheduler", "low",
-                  "nodc|asl|c2pl|opt|gow|low|low-lb|2pl");
+  AddCommonToolFlags(flags);
+  AddTraceFlags(flags);
+  AddFaultFlags(flags);
   flags.AddString("workload", "exp1", "exp1|exp2 (ignored with --pattern)");
   flags.AddString("pattern", "", "pattern notation, e.g. 'r(A:1) -> w(B:2)'");
   flags.AddInt("num-files", 16, "number of files (locking granules)");
@@ -52,74 +40,61 @@ int main(int argc, char** argv) {
   flags.AddDouble("sigma", 0.0, "declaration error stddev (Experiment 3)");
   flags.AddInt("mpl", 0, "multiprogramming limit (0 = unlimited)");
   flags.AddInt("low-k", 2, "LOW's conflict bound K");
-  flags.AddInt("seed", 1, "RNG seed");
-  flags.AddInt("seeds", 1,
-               "replicas at seed, seed+1, ... — prints the cross-seed "
-               "aggregate instead of single-run stats when > 1");
-  flags.AddInt("jobs", 0,
-               "worker threads for --seeds replicas (0 = WTPG_JOBS env or "
-               "hardware concurrency); results are identical for any value");
   flags.AddInt("max-arrivals", 0, "stop arrivals after N transactions (0 = off)");
   flags.AddBool("verify", false, "check conflict-serializability at the end");
   flags.AddString("timeline-csv", "",
                   "sample system state every --timeline-ms into this CSV");
   flags.AddDouble("timeline-ms", 10'000, "timeline sampling period (ms)");
-  flags.AddBool("json", false, "print run stats as one JSON object");
   flags.AddString("dot-out", "",
                   "dump the scheduler's WTPG as Graphviz DOT to this file");
   flags.AddDouble("dot-at-ms", 100'000,
                   "simulated time of the WTPG snapshot for --dot-out");
-  flags.AddString("trace-jsonl", "",
-                  "record an event trace and write it as JSONL to this file");
-  flags.AddString("trace-chrome", "",
-                  "record an event trace and write Chrome trace-event JSON "
-                  "(Perfetto-loadable) to this file");
-  flags.AddInt("trace-capacity", 1 << 20,
-               "trace ring-buffer capacity (most recent events kept)");
-  flags.AddString("log-level", "warning", "debug|info|warning|error");
-  flags.AddBool("help", false, "print usage");
 
-  Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
-                 flags.Help().c_str());
-    return 2;
-  }
-  if (flags.GetBool("help")) {
-    std::printf("%s", flags.Help().c_str());
-    return 0;
-  }
+  const int standard = HandleStandardFlags(flags, argc, argv);
+  if (standard >= 0) return standard;
 
-  LogLevel log_level;
-  if (!ParseLogLevel(flags.GetString("log-level"), &log_level)) {
-    std::fprintf(stderr, "unknown --log-level '%s'\n",
-                 flags.GetString("log-level").c_str());
-    return 2;
+  SimConfig config;
+  const bool from_file = flags.WasSet("config");
+  if (from_file) {
+    StatusOr<SimConfig> loaded =
+        SimConfig::FromJsonFile(flags.GetString("config"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--config: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    config = *loaded;
   }
-  SetLogLevel(log_level);
-
-  auto it = SchedulerNames().find(flags.GetString("scheduler"));
-  if (it == SchedulerNames().end()) {
+  // A flag beats the config file when explicitly given; without a file,
+  // every flag applies so the tool's defaults stay exactly as before.
+  auto use = [&](const char* name) { return !from_file || flags.WasSet(name); };
+  if (use("scheduler") &&
+      !ParseSchedulerKind(flags.GetString("scheduler"), &config.scheduler)) {
     std::fprintf(stderr, "unknown scheduler '%s'\n",
                  flags.GetString("scheduler").c_str());
     return 2;
   }
-
-  SimConfig config;
-  config.scheduler = it->second;
-  config.machine.num_files = static_cast<int>(flags.GetInt("num-files"));
-  config.machine.num_nodes = static_cast<int>(flags.GetInt("num-nodes"));
-  config.machine.dd = static_cast<int>(flags.GetInt("dd"));
-  config.workload.arrival_rate_tps = flags.GetDouble("rate");
-  config.run.horizon_ms = flags.GetDouble("horizon-ms");
-  config.run.warmup_ms = flags.GetDouble("warmup-ms");
-  config.workload.error_sigma = flags.GetDouble("sigma");
-  config.low_k = static_cast<int>(flags.GetInt("low-k"));
-  config.run.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  config.workload.max_arrivals = static_cast<uint64_t>(flags.GetInt("max-arrivals"));
-  if (flags.GetInt("mpl") > 0) {
+  if (use("num-files")) {
+    config.machine.num_files = static_cast<int>(flags.GetInt("num-files"));
+  }
+  if (use("num-nodes")) {
+    config.machine.num_nodes = static_cast<int>(flags.GetInt("num-nodes"));
+  }
+  if (use("dd")) config.machine.dd = static_cast<int>(flags.GetInt("dd"));
+  if (use("rate")) config.workload.arrival_rate_tps = flags.GetDouble("rate");
+  if (use("horizon-ms")) config.run.horizon_ms = flags.GetDouble("horizon-ms");
+  if (use("warmup-ms")) config.run.warmup_ms = flags.GetDouble("warmup-ms");
+  if (use("sigma")) config.workload.error_sigma = flags.GetDouble("sigma");
+  if (use("low-k")) config.low_k = static_cast<int>(flags.GetInt("low-k"));
+  if (use("seed")) config.run.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (use("max-arrivals")) {
+    config.workload.max_arrivals =
+        static_cast<uint64_t>(flags.GetInt("max-arrivals"));
+  }
+  if (use("mpl") && flags.GetInt("mpl") > 0) {
     config.machine.mpl = static_cast<int>(flags.GetInt("mpl"));
   }
+  ApplyFaultFlags(flags, &config.fault);
   if (!flags.GetString("timeline-csv").empty()) {
     config.run.timeline_sample_ms = flags.GetDouble("timeline-ms");
   }
@@ -130,7 +105,7 @@ int main(int argc, char** argv) {
     config.run.trace_capacity =
         static_cast<uint64_t>(flags.GetInt("trace-capacity"));
   }
-  status = config.Validate();
+  Status status = config.Validate();
   if (!status.ok()) {
     std::fprintf(stderr, "bad configuration: %s\n", status.ToString().c_str());
     return 2;

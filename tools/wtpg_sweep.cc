@@ -1,20 +1,23 @@
 // wtpg_sweep — the experiment harness as a command-line tool: arrival-rate
-// sweeps and the "throughput at a response-time target" operating-point
-// search for any scheduler/workload combination, with CSV output.
+// sweeps, the "throughput at a response-time target" operating-point search,
+// C2PL MPL tuning, and fault-churn sweeps for any scheduler/workload
+// combination, with CSV output.
 //
 // Examples:
 //   wtpg_sweep --mode=rates --scheduler=low --rates=0.2,0.4,0.8,1.2
 //   wtpg_sweep --mode=rt-target --scheduler=gow --target-s=70 --dd=2
 //   wtpg_sweep --mode=mpl --scheduler=c2pl --rate=1.2
+//   wtpg_sweep --mode=faults --scheduler=low --rate=1.0
+//              --fault-mttfs-ms=0,400000,100000 --fault-mttr-ms=20000
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 
 #include "driver/report.h"
 #include "driver/sweep.h"
+#include "fault/fault_flags.h"
 #include "machine/config.h"
-#include "util/flags.h"
+#include "util/common_flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "workload/pattern_parser.h"
@@ -23,69 +26,57 @@ using namespace wtpgsched;
 
 int main(int argc, char** argv) {
   FlagParser flags;
-  flags.AddString("mode", "rates", "rates|rt-target|mpl");
-  flags.AddString("scheduler", "low", "nodc|asl|c2pl|opt|gow|low|low-lb|2pl");
+  AddCommonToolFlags(flags);
+  AddFaultFlags(flags);
+  flags.AddString("mode", "rates", "rates|rt-target|mpl|faults");
   flags.AddString("workload", "exp1", "exp1|exp2");
   flags.AddString("pattern", "", "pattern notation (overrides --workload)");
   flags.AddString("rates", "0.2,0.4,0.6,0.8,1.0,1.2,1.4",
                   "rates for --mode=rates");
-  flags.AddDouble("rate", 1.2, "fixed rate for --mode=mpl");
+  flags.AddDouble("rate", 1.2, "fixed rate for --mode=mpl / --mode=faults");
   flags.AddDouble("target-s", 70.0, "response-time target (rt-target mode)");
   flags.AddInt("num-files", 16, "number of files");
   flags.AddInt("dd", 1, "degree of declustering");
   flags.AddDouble("sigma", 0.0, "declaration error stddev");
   flags.AddDouble("horizon-ms", 2'000'000, "simulated milliseconds");
-  flags.AddInt("seeds", 1, "seeds per data point");
   flags.AddInt("iters", 9, "bisection iterations (rt-target mode)");
-  flags.AddInt("seed", 1, "base RNG seed");
-  flags.AddInt("jobs", 0,
-               "replica worker threads (0 = WTPG_JOBS env or hardware "
-               "concurrency); results are identical for any value");
-  flags.AddBool("json", false,
-                "also print one AggregateResult JSON line per data point");
+  flags.AddString("fault-mttfs-ms", "0,400000,200000,100000,50000",
+                  "DPN MTTF values for --mode=faults (0 = fault-free)");
   flags.AddString("csv", "", "also write the table to this CSV file");
-  flags.AddString("log-level", "warning", "debug|info|warning|error");
-  flags.AddBool("help", false, "print usage");
 
-  Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
-                 flags.Help().c_str());
-    return 2;
-  }
-  if (flags.GetBool("help")) {
-    std::printf("%s", flags.Help().c_str());
-    return 0;
-  }
+  const int standard = HandleStandardFlags(flags, argc, argv);
+  if (standard >= 0) return standard;
 
-  LogLevel log_level;
-  if (!ParseLogLevel(flags.GetString("log-level"), &log_level)) {
-    std::fprintf(stderr, "unknown --log-level '%s'\n",
-                 flags.GetString("log-level").c_str());
-    return 2;
+  SimConfig config;
+  const bool from_file = flags.WasSet("config");
+  if (from_file) {
+    StatusOr<SimConfig> loaded =
+        SimConfig::FromJsonFile(flags.GetString("config"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--config: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    config = *loaded;
   }
-  SetLogLevel(log_level);
-
-  static const std::map<std::string, SchedulerKind> kNames = {
-      {"nodc", SchedulerKind::kNodc}, {"asl", SchedulerKind::kAsl},
-      {"c2pl", SchedulerKind::kC2pl}, {"opt", SchedulerKind::kOpt},
-      {"gow", SchedulerKind::kGow},   {"low", SchedulerKind::kLow},
-      {"low-lb", SchedulerKind::kLowLb}, {"2pl", SchedulerKind::kTwoPl}};
-  auto it = kNames.find(flags.GetString("scheduler"));
-  if (it == kNames.end()) {
+  // A flag beats the config file when explicitly given; without a file,
+  // every flag applies so the tool's defaults stay exactly as before.
+  auto use = [&](const char* name) { return !from_file || flags.WasSet(name); };
+  if (use("scheduler") &&
+      !ParseSchedulerKind(flags.GetString("scheduler"), &config.scheduler)) {
     std::fprintf(stderr, "unknown scheduler '%s'\n",
                  flags.GetString("scheduler").c_str());
     return 2;
   }
-
-  SimConfig config;
-  config.scheduler = it->second;
-  config.machine.num_files = static_cast<int>(flags.GetInt("num-files"));
-  config.machine.dd = static_cast<int>(flags.GetInt("dd"));
-  config.workload.error_sigma = flags.GetDouble("sigma");
-  config.run.horizon_ms = flags.GetDouble("horizon-ms");
-  config.run.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  config.workload.arrival_rate_tps = flags.GetDouble("rate");
+  if (use("num-files")) {
+    config.machine.num_files = static_cast<int>(flags.GetInt("num-files"));
+  }
+  if (use("dd")) config.machine.dd = static_cast<int>(flags.GetInt("dd"));
+  if (use("sigma")) config.workload.error_sigma = flags.GetDouble("sigma");
+  if (use("horizon-ms")) config.run.horizon_ms = flags.GetDouble("horizon-ms");
+  if (use("seed")) config.run.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (use("rate")) config.workload.arrival_rate_tps = flags.GetDouble("rate");
+  ApplyFaultFlags(flags, &config.fault);
 
   Pattern pattern = flags.GetString("workload") == "exp2"
                         ? Pattern::Experiment2()
@@ -155,6 +146,33 @@ int main(int argc, char** argv) {
               FmtTps(choice.result.throughput_tps),
               StrCat(choice.result.num_seeds)});
     if (json) std::printf("%s\n", choice.result.ToJson().c_str());
+    table = &t;
+  } else if (mode == "faults") {
+    std::vector<double> mttfs;
+    const Status parsed =
+        ParseDoubleList(flags.GetString("fault-mttfs-ms"), ',', &mttfs);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--fault-mttfs-ms: %s\n",
+                   parsed.ToString().c_str());
+      return 2;
+    }
+    if (mttfs.empty()) {
+      std::fprintf(stderr, "--fault-mttfs-ms is empty\n");
+      return 2;
+    }
+    static TablePrinter t({"mttf(s)", "mean RT(s)", "tput(tps)",
+                           "completions", "restarts", "seeds"});
+    for (const FaultSweepPoint& p :
+         SweepFaultRate(config, pattern, mttfs, seeds, jobs)) {
+      t.AddRow({p.mttf_ms <= 0.0 ? std::string("inf")
+                                 : FormatDouble(p.mttf_ms / 1000.0, 0),
+                FmtSeconds(p.result.mean_response_s),
+                FmtTps(p.result.throughput_tps),
+                FormatDouble(p.result.completions, 1),
+                FormatDouble(p.result.restarts, 1),
+                StrCat(p.result.num_seeds)});
+      if (json) std::printf("%s\n", p.result.ToJson().c_str());
+    }
     table = &t;
   } else {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
