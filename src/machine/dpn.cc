@@ -15,19 +15,53 @@ Dpn::Dpn(Simulator* sim, NodeId id, double obj_time_ms)
   WTPG_CHECK_GT(obj_time_ms_, 0.0);
 }
 
-void Dpn::SubmitCohort(double objects, double quantum_objects,
-                       RoundRobinServer::Callback done) {
+RoundRobinServer::JobId Dpn::SubmitCohort(double objects,
+                                          double quantum_objects,
+                                          RoundRobinServer::Callback done) {
   WTPG_CHECK_GE(objects, 0.0);
   WTPG_CHECK_GT(quantum_objects, 0.0);
-  const SimTime service = MsToTime(objects * obj_time_ms_);
+  WTPG_CHECK(up_) << "cohort submitted to crashed DPN" << id_;
+  // A straggling node scans slower: both the slice length and the total
+  // stretch, so the cohort still gets one object-equivalent per turn.
+  const SimTime service = MsToTime(objects * obj_time_ms_ * slowdown_);
   const SimTime quantum = std::max<SimTime>(
-      MsToTime(quantum_objects * obj_time_ms_), 1);
+      MsToTime(quantum_objects * obj_time_ms_ * slowdown_), 1);
   submitted_objects_ += objects;
-  server_.Submit(service, quantum,
-                 [this, objects, cb = std::move(done)]() {
-                   completed_objects_ += objects;
-                   if (cb) cb();
-                 });
+  const RoundRobinServer::JobId id = server_.next_job_id();
+  const RoundRobinServer::JobId assigned = server_.Submit(
+      service, quantum, [this, id, objects, cb = std::move(done)]() {
+        resident_objects_.erase(id);
+        completed_objects_ += objects;
+        if (cb) cb();
+      });
+  WTPG_CHECK_EQ(assigned, id);
+  resident_objects_.emplace(id, objects);
+  return id;
+}
+
+void Dpn::CancelCohort(RoundRobinServer::JobId job) {
+  auto it = resident_objects_.find(job);
+  if (it == resident_objects_.end()) return;  // Already completed.
+  server_.Cancel(job);
+  // The whole cohort leaves the backlog: its completion callback will never
+  // run the += above, so settle the account here.
+  completed_objects_ += it->second;
+  resident_objects_.erase(it);
+}
+
+void Dpn::Crash() {
+  up_ = false;
+  slowdown_ = 1.0;  // A repair brings the node back at full speed.
+  server_.CancelAll();
+  for (const auto& [job, objects] : resident_objects_) {
+    (void)job;
+    completed_objects_ += objects;
+  }
+  resident_objects_.clear();
+}
+
+void Dpn::Repair() {
+  up_ = true;
 }
 
 double Dpn::BacklogObjects() const {

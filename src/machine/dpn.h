@@ -1,6 +1,7 @@
 #ifndef WTPG_SCHED_MACHINE_DPN_H_
 #define WTPG_SCHED_MACHINE_DPN_H_
 
+#include <map>
 #include <string>
 
 #include "model/types.h"
@@ -14,6 +15,11 @@ namespace wtpgsched {
 // ObjTime per object, serving resident cohorts round-robin. When a file is
 // declustered DD ways, each round-robin turn scans 1/DD object
 // (Section 4.1, item 4).
+//
+// Fault surface (see src/fault/): Crash() fails every resident cohort and
+// marks the node down until Repair(); set_slowdown() stretches the service
+// time of subsequently submitted cohorts (straggler windows). The machine —
+// not the Dpn — decides what happens to the transactions whose cohorts die.
 class Dpn {
  public:
   Dpn(Simulator* sim, NodeId id, double obj_time_ms);
@@ -22,8 +28,28 @@ class Dpn {
 
   // Runs a cohort scanning `objects` (possibly fractional) with a
   // round-robin quantum of `quantum_objects`; `done` fires at completion.
-  void SubmitCohort(double objects, double quantum_objects,
-                    RoundRobinServer::Callback done);
+  // Returns the job id, the handle for CancelCohort().
+  RoundRobinServer::JobId SubmitCohort(double objects, double quantum_objects,
+                                       RoundRobinServer::Callback done);
+
+  // Abandons a resident cohort: its completion callback never fires and its
+  // remaining work leaves the backlog (partial slices already served are
+  // lost). No-op when the cohort already completed.
+  void CancelCohort(RoundRobinServer::JobId job);
+
+  // Fails the node: every resident cohort is abandoned and the node refuses
+  // new work (the machine checks up() before dispatching) until Repair().
+  void Crash();
+
+  // Brings the node back at full speed with its placement intact.
+  void Repair();
+
+  bool up() const { return up_; }
+
+  // Service-time multiplier (>= 1) applied to cohorts submitted from now
+  // on; already-resident cohorts keep their original slice times.
+  void set_slowdown(double factor) { slowdown_ = factor; }
+  double slowdown() const { return slowdown_; }
 
   // Objects of scan work currently queued or in progress.
   double BacklogObjects() const;
@@ -37,9 +63,14 @@ class Dpn {
   NodeId id_;
   double obj_time_ms_;
   RoundRobinServer server_;
+  bool up_ = true;
+  double slowdown_ = 1.0;
   // Work accounting for BacklogObjects(): submitted minus completed.
   double submitted_objects_ = 0.0;
   double completed_objects_ = 0.0;
+  // Objects of each resident cohort, for the backlog refund on cancel.
+  // Ordered so the crash refund sums in a deterministic order.
+  std::map<RoundRobinServer::JobId, double> resident_objects_;
 };
 
 }  // namespace wtpgsched

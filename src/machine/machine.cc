@@ -1,6 +1,7 @@
 #include "machine/machine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sched/low_lb.h"
@@ -35,7 +36,9 @@ Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
       workload_(std::move(workload)),
       scheduler_(std::move(scheduler)),
       cn_(&sim_, config),
-      stats_(config.warmup(), config.horizon()) {
+      stats_(config.warmup(), config.horizon()),
+      faults_enabled_(config.fault.enabled()),
+      fault_rng_(config.run.seed ^ 0xda3e39cb94b95bdbull) {
   const Status valid = config.Validate();
   WTPG_CHECK(valid.ok()) << valid.ToString();
   WTPG_CHECK_LT(workload_.MaxFileId(), config.machine.num_files)
@@ -75,6 +78,15 @@ Transaction& Machine::GetTxn(TxnId id) {
 RunStats Machine::Run() {
   WTPG_CHECK(!ran_) << "Machine::Run() called twice";
   ran_ = true;
+  if (faults_enabled_) {
+    fault_plan_ = FaultPlan::Compile(config_.fault, config_.machine.num_nodes,
+                                     config_.horizon(), config_.run.seed);
+    // The whole schedule goes into the event queue up front: fault timing
+    // never depends on what the workload does, only on the seed.
+    for (const FaultEvent& event : fault_plan_.events()) {
+      sim_.ScheduleAt(event.time, [this, event] { OnFaultEvent(event); });
+    }
+  }
   ScheduleNextArrival();
   ScheduleTimelineSample();
   sim_.RunUntil(config_.horizon());
@@ -284,8 +296,15 @@ void Machine::DispatchStep(TxnId id) {
                  .incarnation = txn.restarts,
                  .file = txn.step(txn.current_step()).file,
                  .step = txn.current_step()});
-  // CN sends the transaction to the file's home node.
-  cn_.SubmitMessage([this, id] { StartCohorts(id); });
+  // CN sends the transaction to the file's home node. The incarnation guard
+  // drops the message if a fault abort restarted the transaction while it
+  // was in flight (a no-op without faults: nothing else aborts mid-message).
+  const int32_t inc = txn.restarts;
+  cn_.SubmitMessage([this, id, inc] {
+    auto it = txns_.find(id);
+    if (it == txns_.end() || it->second->restarts != inc) return;
+    StartCohorts(id);
+  });
 }
 
 void Machine::StartCohorts(TxnId id) {
@@ -293,6 +312,15 @@ void Machine::StartCohorts(TxnId id) {
   const int step = txn.current_step();
   const StepSpec& spec = txn.step(step);
   trace_.set_now(sim_.Now());
+  // A scan cannot run against a crashed partition; the transaction aborts
+  // exactly as if the node failed under it.
+  for (int c = 0; c < placement_.dd(); ++c) {
+    if (!dpns_[static_cast<size_t>(placement_.NodeFor(spec.file, c))]->up()) {
+      FaultCounter("fault.crash_victims") += 1;
+      FaultAbort(id, kAbortNodeCrash);
+      return;
+    }
+  }
   // Log the data access. Reads take effect as the scan runs. Writes do too
   // under locking schedulers (in-place, protected by the X lock); under OPT
   // they go to private copies and are logged at commit instead.
@@ -322,8 +350,10 @@ void Machine::StartCohorts(TxnId id) {
                    .node = node,
                    .step = step,
                    .value = cohort_objects});
-    dpn.SubmitCohort(cohort_objects, quantum_objects,
-                     [this, id, node] { OnCohortDone(id, node); });
+    const RoundRobinServer::JobId job = dpn.SubmitCohort(
+        cohort_objects, quantum_objects,
+        [this, id, node] { OnCohortDone(id, node); });
+    if (faults_enabled_) cohort_jobs_[id].emplace_back(node, job);
   }
 }
 
@@ -338,12 +368,32 @@ void Machine::OnCohortDone(TxnId id, NodeId node) {
                    .node = node,
                    .step = txn.current_step()});
   }
+  if (faults_enabled_) {
+    auto cj = cohort_jobs_.find(id);
+    if (cj != cohort_jobs_.end()) {
+      auto& jobs = cj->second;
+      for (auto jt = jobs.begin(); jt != jobs.end(); ++jt) {
+        if (jt->first == node) {
+          jobs.erase(jt);
+          break;
+        }
+      }
+      if (jobs.empty()) cohort_jobs_.erase(cj);
+    }
+  }
   auto it = cohorts_remaining_.find(id);
   WTPG_CHECK(it != cohorts_remaining_.end());
   if (--it->second > 0) return;
   cohorts_remaining_.erase(it);
   // All cohorts joined at the home node; the transaction returns to CN.
-  cn_.SubmitMessage([this, id] { OnStepReturned(id); });
+  // Guarded like the dispatch message: a fault abort between the join and
+  // the CN receive invalidates this incarnation's return trip.
+  const int32_t inc = GetTxn(id).restarts;
+  cn_.SubmitMessage([this, id, inc] {
+    auto t = txns_.find(id);
+    if (t == txns_.end() || t->second->restarts != inc) return;
+    OnStepReturned(id);
+  });
 }
 
 void Machine::OnStepReturned(TxnId id) {
@@ -423,6 +473,170 @@ void Machine::OnCommitDone(TxnId id) {
   for (FileId file : released) WakeFileWaiters(file);
   RetryDelayed();
   RetryAdmissions();
+}
+
+// --- Faults ---
+
+uint64_t& Machine::FaultCounter(const char* name) {
+  return stats_.counters().Counter(name);
+}
+
+void Machine::OnFaultEvent(const FaultEvent& event) {
+  trace_.set_now(sim_.Now());
+  switch (event.kind) {
+    case FaultEventKind::kDpnCrash:
+      OnDpnCrash(event.node);
+      break;
+    case FaultEventKind::kDpnRepair: {
+      Dpn& dpn = *dpns_[static_cast<size_t>(event.node)];
+      if (dpn.up()) break;
+      dpn.Repair();
+      FaultCounter("fault.repairs") += 1;
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kDpnRepair,
+                     .node = event.node});
+      break;
+    }
+    case FaultEventKind::kSlowdownStart: {
+      Dpn& dpn = *dpns_[static_cast<size_t>(event.node)];
+      // A window opening on a crashed node is lost: the node comes back
+      // from repair at full speed.
+      if (!dpn.up()) break;
+      dpn.set_slowdown(config_.fault.straggler_factor);
+      FaultCounter("fault.slowdowns") += 1;
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kDpnSlowdown,
+                     .node = event.node,
+                     .arg = 1,
+                     .value = config_.fault.straggler_factor});
+      break;
+    }
+    case FaultEventKind::kSlowdownEnd: {
+      Dpn& dpn = *dpns_[static_cast<size_t>(event.node)];
+      if (!dpn.up() || dpn.slowdown() == 1.0) break;
+      dpn.set_slowdown(1.0);
+      trace_.Record({.time = sim_.Now(),
+                     .type = TraceEventType::kDpnSlowdown,
+                     .node = event.node,
+                     .arg = 0,
+                     .value = 1.0});
+      break;
+    }
+    case FaultEventKind::kInjectAbort:
+      InjectAbort(event.pick);
+      break;
+  }
+}
+
+void Machine::OnDpnCrash(NodeId node) {
+  Dpn& dpn = *dpns_[static_cast<size_t>(node)];
+  if (!dpn.up()) return;
+  FaultCounter("fault.crashes") += 1;
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kDpnCrash,
+                 .node = node});
+  dpn.Crash();
+  // Every transaction with a cohort resident on the node loses its whole
+  // incarnation — mid-scan state on a dead node is unrecoverable. Victims
+  // abort in id order so the schedule does not depend on hash-map order.
+  std::vector<TxnId> victims;
+  for (const auto& [id, jobs] : cohort_jobs_) {
+    for (const auto& [n, job] : jobs) {
+      (void)job;
+      if (n == node) {
+        victims.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (TxnId id : victims) {
+    FaultCounter("fault.crash_victims") += 1;
+    FaultAbort(id, kAbortNodeCrash);
+  }
+}
+
+void Machine::InjectAbort(double pick) {
+  // Eligible victims: admitted transactions that are not mid-decision (a
+  // CN decision job holds a raw reference to the incarnation) and not past
+  // the commit point. The active() map is ordered by id, so `pick` indexes
+  // the same victim on every replay.
+  std::vector<TxnId> eligible;
+  for (const auto& [id, txn] : scheduler_->active()) {
+    if (txn->state() == Transaction::State::kCommitting) continue;
+    if (pending_decision_.count(id) > 0) continue;
+    eligible.push_back(id);
+  }
+  if (eligible.empty()) return;
+  size_t index = static_cast<size_t>(pick * static_cast<double>(eligible.size()));
+  if (index >= eligible.size()) index = eligible.size() - 1;
+  FaultCounter("fault.injected_aborts") += 1;
+  FaultAbort(eligible[index], kAbortInjected);
+}
+
+void Machine::FaultAbort(TxnId id, AbortReason reason) {
+  Transaction& txn = GetTxn(id);
+  // Cohorts still running on healthy nodes are canceled; their completion
+  // callbacks never fire and their remaining work leaves the backlog.
+  auto cj = cohort_jobs_.find(id);
+  if (cj != cohort_jobs_.end()) {
+    for (const auto& [node, job] : cj->second) {
+      dpns_[static_cast<size_t>(node)]->CancelCohort(job);
+    }
+    cohort_jobs_.erase(cj);
+  }
+  cohorts_remaining_.erase(id);
+  Unpark(id);
+  stats_.RecordRestart();
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kAbort,
+                 .txn = id,
+                 .incarnation = txn.restarts,
+                 .arg = static_cast<int32_t>(reason)});
+  const std::vector<FileId> released = scheduler_->OnAbort(txn);
+  txn.ResetForRestart();
+  // Exponential backoff doubling per restart, capped, with multiplicative
+  // jitter from the replica's fault stream so colliding victims do not
+  // retry in lockstep.
+  const FaultConfig& fault = config_.fault;
+  double delay_ms =
+      fault.backoff_base_ms * std::pow(2.0, std::max(0, txn.restarts - 1));
+  delay_ms = std::min(delay_ms, fault.backoff_max_ms);
+  if (fault.backoff_jitter > 0.0) {
+    delay_ms *= fault_rng_.UniformReal(1.0 - fault.backoff_jitter,
+                                       1.0 + fault.backoff_jitter);
+  }
+  FaultCounter("fault.backoff_restarts") += 1;
+  trace_.Record({.time = sim_.Now(),
+                 .type = TraceEventType::kFaultBackoff,
+                 .txn = id,
+                 .incarnation = txn.restarts,
+                 .value = delay_ms / 1000.0});
+  sim_.ScheduleAfter(MsToTime(delay_ms),
+                     [this, id] { RequestStartup(id, /*charge_sot=*/true); });
+  for (FileId file : released) WakeFileWaiters(file);
+  RetryDelayed();
+  RetryAdmissions();
+}
+
+void Machine::Unpark(TxnId id) {
+  auto drop = [id](std::deque<TxnId>* queue) {
+    for (auto it = queue->begin(); it != queue->end(); ++it) {
+      if (*it == id) {
+        queue->erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (drop(&admission_wait_)) return;
+  if (drop(&delayed_)) return;
+  for (auto it = file_waiters_.begin(); it != file_waiters_.end(); ++it) {
+    if (drop(&it->second)) {
+      if (it->second.empty()) file_waiters_.erase(it);
+      return;
+    }
+  }
 }
 
 // --- Parked-request retry ---

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/schedule_log.h"
+#include "fault/fault_plan.h"
 #include "machine/config.h"
 #include "machine/control_node.h"
 #include "machine/data_placement.h"
@@ -19,6 +20,7 @@
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace_recorder.h"
+#include "util/random.h"
 #include "workload/workload.h"
 
 namespace wtpgsched {
@@ -109,6 +111,22 @@ class Machine {
   void RequestCommit(TxnId id);
   void OnCommitDone(TxnId id);
 
+  // --- Faults (src/fault/, DESIGN.md "Fault model") ---
+  // Dispatches one pre-compiled FaultPlan event at its scheduled time.
+  void OnFaultEvent(const FaultEvent& event);
+  void OnDpnCrash(NodeId node);
+  // Aborts the eligible transaction selected by `pick` (uniform in [0, 1)).
+  void InjectAbort(double pick);
+  // Aborts an in-flight transaction from outside the scheduler: cancels its
+  // surviving cohorts, releases its locks through Scheduler::OnAbort, and
+  // restarts it after an exponential backoff with deterministic jitter.
+  void FaultAbort(TxnId id, AbortReason reason);
+  // Removes `id` from whichever parked list holds it (if any).
+  void Unpark(TxnId id);
+  // Fault counters register lazily so a zero-fault run's counter set — and
+  // therefore its JSON output — is byte-identical to a faultless build.
+  uint64_t& FaultCounter(const char* name);
+
   // --- Parked-request retry ---
   void ParkAdmission(TxnId id);
   void ParkBlocked(TxnId id, FileId file);
@@ -144,6 +162,19 @@ class Machine {
 
   // Cohorts still running for the executing step of each transaction.
   std::unordered_map<TxnId, int> cohorts_remaining_;
+
+  // --- Fault state (inert unless config.fault.enabled()) ---
+  const bool faults_enabled_;
+  FaultPlan fault_plan_;
+  // Backoff jitter; salted off the run seed, independent of the plan's
+  // streams and of the workload streams.
+  Rng fault_rng_;
+  // (node, job) handles of the in-flight cohorts of each executing
+  // transaction — the crash-victim index and the cancel handles for fault
+  // aborts. Only maintained when faults are enabled.
+  std::unordered_map<TxnId,
+                     std::vector<std::pair<NodeId, RoundRobinServer::JobId>>>
+      cohort_jobs_;
 
   uint64_t arrivals_generated_ = 0;
   bool fallback_timer_active_ = false;

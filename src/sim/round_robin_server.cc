@@ -22,6 +22,26 @@ RoundRobinServer::JobId RoundRobinServer::Submit(SimTime total_service,
   return id;
 }
 
+bool RoundRobinServer::Cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  jobs_.erase(it);
+  // Drop it from the rotation if it was waiting for a turn. If its slice is
+  // in flight instead, OnSliceDone finds no entry and rotates on.
+  for (auto r = ready_.begin(); r != ready_.end(); ++r) {
+    if (*r == id) {
+      ready_.erase(r);
+      break;
+    }
+  }
+  return true;
+}
+
+void RoundRobinServer::CancelAll() {
+  jobs_.clear();
+  ready_.clear();
+}
+
 void RoundRobinServer::StartSlice() {
   WTPG_CHECK(!slice_in_progress_);
   if (ready_.empty()) return;
@@ -39,7 +59,11 @@ void RoundRobinServer::OnSliceDone(JobId id, SimTime slice) {
   WTPG_CHECK(slice_in_progress_);
   slice_in_progress_ = false;
   auto it = jobs_.find(id);
-  WTPG_CHECK(it != jobs_.end());
+  if (it == jobs_.end()) {
+    // Canceled while its slice was in flight; the slice's work is wasted.
+    StartSlice();
+    return;
+  }
   it->second.remaining -= slice;
   if (it->second.remaining <= 0) {
     Callback cb = std::move(it->second.on_complete);

@@ -32,6 +32,21 @@ class RoundRobinServer {
   // `quantum` (> 0). `on_complete` fires when the whole job has been served.
   JobId Submit(SimTime total_service, SimTime quantum, Callback on_complete);
 
+  // Removes a resident job; its completion callback never fires and it does
+  // not count toward jobs_completed(). Service already sliced stays in
+  // busy_time() — a canceled scan wasted real processor time. Returns false
+  // when the job already completed (or was never submitted). Safe while the
+  // job's slice is in flight: the slice ends, the server notices the job is
+  // gone and rotates on.
+  bool Cancel(JobId id);
+
+  // Cancels every resident job at once (node crash).
+  void CancelAll();
+
+  // The id the next Submit() will assign — lets a caller register
+  // bookkeeping keyed by job id inside the completion callback it passes in.
+  JobId next_job_id() const { return next_id_; }
+
   size_t active_jobs() const { return jobs_.size(); }
   bool busy() const { return slice_in_progress_; }
   SimTime busy_time() const { return busy_time_; }

@@ -45,6 +45,11 @@ enum class TraceEventType : uint8_t {
                    // value2=critical path with the grant's orientations.
   kC2plPredict,    // txn, file, arg=1 cycle predicted (delay) / 0 clear.
   kOptValidation,  // txn, inc, arg=1 pass / 0 fail.
+  // --- Fault lifecycle (emitted by the machine from the FaultPlan) ---
+  kDpnCrash,       // node — DPN failed; resident cohorts die.
+  kDpnRepair,      // node — DPN back up, placement intact.
+  kDpnSlowdown,    // node, arg=1 window opens / 0 closes, value=factor.
+  kFaultBackoff,   // txn, inc, value=backoff delay (s) before restart.
   kNumTypes,       // Sentinel; keep last.
 };
 
@@ -52,6 +57,8 @@ enum class TraceEventType : uint8_t {
 enum AbortReason : int32_t {
   kAbortValidationFailure = 0,  // OPT certification failed at commit.
   kAbortDeadlockVictim = 1,     // 2PL deadlock victim.
+  kAbortNodeCrash = 2,          // A DPN holding one of its cohorts crashed.
+  kAbortInjected = 3,           // Spontaneous abort from the fault plan.
 };
 
 // Payload of TraceEvent::arg for kGowOrientation.

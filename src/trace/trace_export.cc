@@ -22,6 +22,7 @@ bool UsesArg(TraceEventType type) {
     case TraceEventType::kGowOrientation:
     case TraceEventType::kC2plPredict:
     case TraceEventType::kOptValidation:
+    case TraceEventType::kDpnSlowdown:
       return true;
     default:
       return false;
@@ -34,6 +35,8 @@ bool UsesValue(TraceEventType type) {
     case TraceEventType::kLowEval:
     case TraceEventType::kGowChainTest:
     case TraceEventType::kGowOrientation:
+    case TraceEventType::kDpnSlowdown:
+    case TraceEventType::kFaultBackoff:
       return true;
     default:
       return false;
@@ -49,6 +52,20 @@ void AddValue(JsonWriter* json, const char* key, double value) {
   } else {
     json->Add(key, value > 0 ? "inf" : "-inf");
   }
+}
+
+const char* AbortReasonName(int32_t arg) {
+  switch (arg) {
+    case kAbortValidationFailure:
+      return "validation-failure";
+    case kAbortDeadlockVictim:
+      return "deadlock-victim";
+    case kAbortNodeCrash:
+      return "node-crash";
+    case kAbortInjected:
+      return "injected";
+  }
+  return "?";
 }
 
 bool UsesMode(TraceEventType type) {
@@ -214,6 +231,7 @@ Status WriteChromeTrace(const std::vector<TraceEvent>& events,
       }
       case TraceEventType::kArrive:
       case TraceEventType::kRestartScheduled:
+      case TraceEventType::kFaultBackoff:
         admit_open.emplace(e.txn, e.time);
         break;
       case TraceEventType::kAdmit: {
@@ -260,14 +278,25 @@ Status WriteChromeTrace(const std::vector<TraceEvent>& events,
         break;
       case TraceEventType::kAbort: {
         JsonWriter args;
-        args.Add("reason", e.arg == kAbortDeadlockVictim
-                               ? "deadlock-victim"
-                               : "validation-failure");
+        args.Add("reason", AbortReasonName(e.arg));
         emit(InstantEvent("abort", kTxnPid, e.txn, e.time,
                           args.ToString()));
         // Waits of the dead incarnation stay open; drop them.
         lock_open.erase(e.txn);
         exec_open.erase(e.txn);
+        break;
+      }
+      case TraceEventType::kDpnCrash:
+        emit(InstantEvent("crash", kDpnPid, e.node, e.time, ""));
+        break;
+      case TraceEventType::kDpnRepair:
+        emit(InstantEvent("repair", kDpnPid, e.node, e.time, ""));
+        break;
+      case TraceEventType::kDpnSlowdown: {
+        JsonWriter args;
+        args.Add("factor", e.value);
+        emit(InstantEvent(e.arg == 1 ? "slowdown-start" : "slowdown-end",
+                          kDpnPid, e.node, e.time, args.ToString()));
         break;
       }
       case TraceEventType::kLowEval: {

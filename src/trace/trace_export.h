@@ -11,7 +11,7 @@
 
 namespace wtpgsched {
 
-inline constexpr const char* kTraceSchemaVersion = "wtpg-trace/1";
+inline constexpr const char* kTraceSchemaVersion = "wtpg-trace/2";
 
 // Run metadata carried in the JSONL header line (and as Chrome metadata).
 struct TraceMeta {

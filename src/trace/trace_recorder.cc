@@ -54,6 +54,14 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "c2pl_predict";
     case TraceEventType::kOptValidation:
       return "opt_validation";
+    case TraceEventType::kDpnCrash:
+      return "dpn_crash";
+    case TraceEventType::kDpnRepair:
+      return "dpn_repair";
+    case TraceEventType::kDpnSlowdown:
+      return "dpn_slowdown";
+    case TraceEventType::kFaultBackoff:
+      return "fault_backoff";
     case TraceEventType::kNumTypes:
       break;
   }

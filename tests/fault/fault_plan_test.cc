@@ -1,0 +1,161 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_config.h"
+#include "sim/time.h"
+
+namespace wtpgsched {
+namespace {
+
+constexpr SimTime kHorizon = MsToTime(2'000'000);
+
+FaultConfig ChurnConfig() {
+  FaultConfig f;
+  f.dpn_mttf_ms = 60'000;
+  f.dpn_mttr_ms = 20'000;
+  f.straggler_mtbf_ms = 120'000;
+  f.straggler_duration_ms = 30'000;
+  f.straggler_factor = 4.0;
+  f.abort_rate_per_s = 0.05;
+  return f;
+}
+
+bool SameEvents(const FaultPlan& a, const FaultPlan& b) {
+  if (a.events().size() != b.events().size()) return false;
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    const FaultEvent& x = a.events()[i];
+    const FaultEvent& y = b.events()[i];
+    if (x.time != y.time || x.kind != y.kind || x.node != y.node ||
+        x.pick != y.pick) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultConfigTest, DisabledByDefault) {
+  FaultConfig f;
+  EXPECT_FALSE(f.enabled());
+  EXPECT_TRUE(f.Validate().ok());
+}
+
+TEST(FaultConfigTest, ValidateRejectsBadValues) {
+  FaultConfig f;
+  f.dpn_mttf_ms = 1000;
+  f.dpn_mttr_ms = 0;
+  EXPECT_FALSE(f.Validate().ok());
+
+  f = FaultConfig{};
+  f.straggler_mtbf_ms = 1000;
+  f.straggler_factor = 0.5;
+  EXPECT_FALSE(f.Validate().ok());
+
+  f = FaultConfig{};
+  f.backoff_jitter = 1.0;
+  EXPECT_FALSE(f.Validate().ok());
+
+  f = FaultConfig{};
+  f.backoff_base_ms = 2000;
+  f.backoff_max_ms = 1000;
+  EXPECT_FALSE(f.Validate().ok());
+
+  EXPECT_TRUE(ChurnConfig().Validate().ok());
+}
+
+TEST(FaultPlanTest, ZeroFaultConfigCompilesEmpty) {
+  const FaultPlan plan = FaultPlan::Compile(FaultConfig{}, 8, kHorizon, 1);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.num_crashes(), 0u);
+  EXPECT_EQ(plan.num_slowdowns(), 0u);
+  EXPECT_EQ(plan.num_abort_injections(), 0u);
+}
+
+TEST(FaultPlanTest, SameSeedBitIdentical) {
+  const FaultPlan a = FaultPlan::Compile(ChurnConfig(), 8, kHorizon, 42);
+  const FaultPlan b = FaultPlan::Compile(ChurnConfig(), 8, kHorizon, 42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(SameEvents(a, b));
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer) {
+  const FaultPlan a = FaultPlan::Compile(ChurnConfig(), 8, kHorizon, 1);
+  const FaultPlan b = FaultPlan::Compile(ChurnConfig(), 8, kHorizon, 2);
+  EXPECT_FALSE(SameEvents(a, b));
+}
+
+// Turning other fault sources on must not move the crash schedule: each
+// source draws from its own forked stream.
+TEST(FaultPlanTest, CrashScheduleIndependentOfOtherSources) {
+  FaultConfig crash_only;
+  crash_only.dpn_mttf_ms = 60'000;
+  crash_only.dpn_mttr_ms = 20'000;
+  const FaultPlan lone = FaultPlan::Compile(crash_only, 8, kHorizon, 7);
+  const FaultPlan churn = FaultPlan::Compile(ChurnConfig(), 8, kHorizon, 7);
+
+  std::vector<FaultEvent> churn_crashes;
+  for (const FaultEvent& e : churn.events()) {
+    if (e.kind == FaultEventKind::kDpnCrash ||
+        e.kind == FaultEventKind::kDpnRepair) {
+      churn_crashes.push_back(e);
+    }
+  }
+  ASSERT_EQ(churn_crashes.size(), lone.events().size());
+  for (size_t i = 0; i < churn_crashes.size(); ++i) {
+    EXPECT_EQ(churn_crashes[i].time, lone.events()[i].time);
+    EXPECT_EQ(churn_crashes[i].kind, lone.events()[i].kind);
+    EXPECT_EQ(churn_crashes[i].node, lone.events()[i].node);
+  }
+}
+
+TEST(FaultPlanTest, EventsSortedAndWithinHorizon) {
+  const FaultPlan plan = FaultPlan::Compile(ChurnConfig(), 8, kHorizon, 3);
+  ASSERT_FALSE(plan.empty());
+  for (size_t i = 0; i < plan.events().size(); ++i) {
+    const FaultEvent& e = plan.events()[i];
+    EXPECT_GE(e.time, 0);
+    EXPECT_LT(e.time, kHorizon);
+    if (i > 0) {
+      EXPECT_LE(plan.events()[i - 1].time, e.time);
+    }
+    if (e.kind == FaultEventKind::kInjectAbort) {
+      EXPECT_EQ(e.node, -1);
+      EXPECT_GE(e.pick, 0.0);
+      EXPECT_LT(e.pick, 1.0);
+    } else {
+      EXPECT_GE(e.node, 0);
+      EXPECT_LT(e.node, 8);
+    }
+  }
+}
+
+// Per node, crash and repair strictly alternate starting with a crash (a
+// down node cannot fail again; an up node cannot be repaired).
+TEST(FaultPlanTest, CrashRepairAlternatePerNode) {
+  const FaultPlan plan = FaultPlan::Compile(ChurnConfig(), 4, kHorizon, 11);
+  std::vector<bool> down(4, false);
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind == FaultEventKind::kDpnCrash) {
+      EXPECT_FALSE(down[static_cast<size_t>(e.node)]) << "double crash";
+      down[static_cast<size_t>(e.node)] = true;
+    } else if (e.kind == FaultEventKind::kDpnRepair) {
+      EXPECT_TRUE(down[static_cast<size_t>(e.node)]) << "repair while up";
+      down[static_cast<size_t>(e.node)] = false;
+    }
+  }
+  EXPECT_GT(plan.num_crashes(), 0u);
+}
+
+// More nodes -> a superset prefix situation must NOT hold (each node forks
+// its own stream), but the count should scale roughly with node count.
+TEST(FaultPlanTest, CrashCountScalesWithNodes) {
+  FaultConfig f;
+  f.dpn_mttf_ms = 30'000;
+  f.dpn_mttr_ms = 10'000;
+  const FaultPlan small = FaultPlan::Compile(f, 2, kHorizon, 5);
+  const FaultPlan large = FaultPlan::Compile(f, 16, kHorizon, 5);
+  EXPECT_GT(large.num_crashes(), small.num_crashes());
+}
+
+}  // namespace
+}  // namespace wtpgsched
