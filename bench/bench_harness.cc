@@ -95,28 +95,42 @@ int main(int argc, char** argv) {
   const double wall_serial_s = Seconds(t0, t1);
   const double wall_parallel_s = Seconds(t1, t2);
   const bool identical = serial == parallel;
+  // On a single-hardware-thread container the jobs=N run just adds pool
+  // overhead — a "speedup" there is a measurement confound, not a result.
+  // The wall times and the byte-identity check stay meaningful; the speedup
+  // claim does not, so it is reported only with >= 2 hardware threads.
+  const int hardware_threads = ThreadPool::HardwareThreads();
+  const bool speedup_meaningful = hardware_threads >= 2;
   const double speedup =
       wall_parallel_s > 0.0 ? wall_serial_s / wall_parallel_s : 0.0;
 
+  std::printf("hardware threads: %d%s\n", hardware_threads,
+              speedup_meaningful
+                  ? ""
+                  : " (speedup not meaningful on 1 hardware thread)");
   TablePrinter table({"jobs", "wall(s)", "speedup", "identical"});
   table.AddRow({"1", FormatDouble(wall_serial_s, 2), "1.00", "-"});
   table.AddRow({StrCat(jobs), FormatDouble(wall_parallel_s, 2),
-                FormatDouble(speedup, 2), identical ? "yes" : "NO"});
+                speedup_meaningful ? FormatDouble(speedup, 2) : "n/a",
+                identical ? "yes" : "NO"});
   table.Print();
 
   JsonWriter json;
   json.Add("bench", "harness_sweep")
+      .Add("hardware_threads", hardware_threads)
+      .Add("speedup_meaningful", speedup_meaningful)
       .Add("replicas", replicas)
       .Add("schedulers", static_cast<int>(std::size(kSchedulers)))
       .Add("rates", static_cast<int>(rates.size()))
       .Add("seeds", seeds)
       .Add("horizon_ms", horizon_ms)
-      .Add("hardware_threads", ThreadPool::HardwareThreads())
       .Add("jobs", jobs)
       .Add("wall_s_jobs1", wall_serial_s)
-      .Add("wall_s_jobsN", wall_parallel_s)
-      .Add("speedup", speedup)
-      .Add("outputs_identical", identical);
+      .Add("wall_s_jobsN", wall_parallel_s);
+  if (speedup_meaningful) {
+    json.Add("speedup", speedup);
+  }
+  json.Add("outputs_identical", identical);
   const std::string out_path = flags.GetString("out");
   std::ofstream out(out_path);
   out << json.ToString() << "\n";

@@ -1,0 +1,457 @@
+// micro_sim_core — before/after microbenchmark of the simulator kernel.
+//
+// The pre-rewrite EventQueue (std::function callbacks keyed by id in an
+// unordered_map, tombstoned cancels, wholesale compaction) is embedded below
+// verbatim as LegacyEventQueue, so the "before" numbers are measured live on
+// the same machine rather than trusted from an old file. Four queue
+// workloads (schedule+pop at the measured-realistic queue size, a deep-heap
+// variant, cancel-heavy, steady-state churn) run against
+// both implementations; then one short end-to-end replica per scheduler
+// reports whole-kernel events/sec. Results land in BENCH_sim_core.json and a
+// CSV for per-PR tracking; --smoke shrinks the iteration counts to seconds
+// for the perf-labeled ctest target (also run under ASan, where absolute
+// numbers are meaningless but the workloads double as a stress test).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "driver/report.h"
+#include "driver/sim_run.h"
+#include "machine/config.h"
+#include "machine/machine.h"
+#include "sim/event_queue.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workload/pattern.h"
+
+using namespace wtpgsched;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// The pre-rewrite event queue, embedded as the recorded baseline. Identical
+// to src/sim/event_queue.{h,cc} before the indexed-heap rewrite (commit
+// history has the original); only the class name differs.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  struct Event {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+
+  EventId Schedule(SimTime at, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push_back(Entry{at, id});
+    std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  bool Cancel(EventId id) {
+    if (callbacks_.erase(id) == 0) return false;
+    ++tombstones_;
+    MaybeCompact();
+    return true;
+  }
+
+  bool empty() const { return callbacks_.empty(); }
+  size_t size() const { return callbacks_.size(); }
+
+  SimTime NextTime() {
+    SkipCancelled();
+    return heap_.empty() ? kSimTimeMax : heap_.front().time;
+  }
+
+  Event Pop() {
+    SkipCancelled();
+    WTPG_CHECK(!heap_.empty()) << "Pop() on empty LegacyEventQueue";
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+    auto it = callbacks_.find(top.id);
+    Event event{top.time, top.id, std::move(it->second)};
+    callbacks_.erase(it);
+    return event;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() {
+    while (!heap_.empty() &&
+           callbacks_.find(heap_.front().id) == callbacks_.end()) {
+      std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+      heap_.pop_back();
+      --tombstones_;
+    }
+  }
+
+  void MaybeCompact() {
+    if (tombstones_ * 2 <= callbacks_.size()) return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry& e) {
+                                 return callbacks_.find(e.id) ==
+                                        callbacks_.end();
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    tombstones_ = 0;
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  size_t tombstones_ = 0;
+  EventId next_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Queue workloads, templated over the queue type. Every workload returns the
+// number of queue operations performed; callbacks bump a sink so neither
+// implementation can dead-strip the invocation.
+//
+// The capture is sized like the real call sites (machine pointer, txn id,
+// step, node id — ~40 bytes; see src/machine/machine.cc): inside the dense
+// queue's 48-byte inline budget, beyond std::function's small-buffer
+// threshold. A token capture would hide exactly the allocation the rewrite
+// removes.
+struct Payload {
+  uint64_t* sink;
+  uint64_t txn;
+  int32_t step;
+  int32_t node;
+  double cost;
+  uint64_t tag;
+
+  void operator()() const { *sink += txn + static_cast<uint64_t>(step); }
+};
+
+Payload MakePayload(uint64_t* sink, uint64_t i) {
+  return Payload{sink, i, static_cast<int32_t>(i % 7),
+                 static_cast<int32_t>(i % 13), 0.5 * static_cast<double>(i),
+                 i ^ 0x9E3779B97F4A7C15ull};
+}
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Every drain below mirrors Simulator::Step exactly: NextTime() (the
+// horizon check the simulator makes before every event), then Pop(), then
+// the callback. For the legacy queue NextTime() is not free — it runs
+// SkipCancelled, a hash find of the top id per event — so skipping it
+// would flatter the baseline with an access pattern the simulator never
+// had.
+template <typename Q>
+void Drain(Q& q) {
+  while (q.NextTime() != kSimTimeMax) {
+    q.Pop().callback();
+  }
+}
+
+// Batches of schedules at random times (many FIFO ties) drained by pops.
+template <typename Q>
+uint64_t RunSchedulePop(int rounds, int batch, uint64_t* sink) {
+  Q q;
+  Rng rng(20260807);
+  uint64_t ops = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < batch; ++i) {
+      q.Schedule(static_cast<SimTime>(rng.UniformInt(0, 99)),
+                 MakePayload(sink, static_cast<uint64_t>(i)));
+    }
+    Drain(q);
+    ops += 2u * static_cast<uint64_t>(batch);
+  }
+  return ops;
+}
+
+// Batches where half the events are cancelled before the drain — the
+// workload the tombstone scheme paid for (timeouts cancelled on completion).
+template <typename Q>
+uint64_t RunCancelHeavy(int rounds, int batch, uint64_t* sink) {
+  Q q;
+  Rng rng(20260808);
+  std::vector<typename Q::EventId> ids;
+  uint64_t ops = 0;
+  for (int r = 0; r < rounds; ++r) {
+    ids.clear();
+    for (int i = 0; i < batch; ++i) {
+      ids.push_back(q.Schedule(static_cast<SimTime>(rng.UniformInt(0, 999)),
+                               MakePayload(sink, static_cast<uint64_t>(i))));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      WTPG_CHECK(q.Cancel(ids[i]));
+    }
+    Drain(q);
+    ops += 2u * static_cast<uint64_t>(batch) +
+           static_cast<uint64_t>(batch) / 2;
+  }
+  return ops;
+}
+
+// Steady state: a resident set of pending events, each pop scheduling a
+// successor — the shape of a running simulation (server completions,
+// arrivals, timeouts).
+template <typename Q>
+uint64_t RunChurn(int steps, int resident, uint64_t* sink) {
+  Q q;
+  Rng rng(20260809);
+  SimTime now = 0;
+  for (int i = 0; i < resident; ++i) {
+    q.Schedule(static_cast<SimTime>(rng.UniformInt(0, 99)),
+               MakePayload(sink, static_cast<uint64_t>(i)));
+  }
+  for (int s = 0; s < steps; ++s) {
+    WTPG_CHECK_NE(q.NextTime(), kSimTimeMax);  // Simulator's horizon check.
+    auto ev = q.Pop();
+    now = ev.time;
+    ev.callback();
+    q.Schedule(now + static_cast<SimTime>(rng.UniformInt(1, 99)),
+               MakePayload(sink, static_cast<uint64_t>(s)));
+  }
+  return 2u * static_cast<uint64_t>(steps);
+}
+
+struct WorkloadResult {
+  std::string workload;
+  std::string impl;
+  uint64_t ops = 0;
+  double seconds = 0.0;
+  double mops_per_s = 0.0;
+};
+
+// Best-of-`reps` measurement: on a shared container a single run can eat an
+// arbitrary scheduling stall, so the fastest repetition is the least-noisy
+// estimate of the workload's actual cost (the standard microbenchmark rule:
+// noise only ever adds time).
+template <typename Q>
+WorkloadResult Measure(const std::string& workload, const std::string& impl,
+                       uint64_t (*fn)(int, int, uint64_t*), int a, int b,
+                       int reps) {
+  WorkloadResult r;
+  r.workload = workload;
+  r.impl = impl;
+  for (int rep = 0; rep < reps; ++rep) {
+    uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t ops = fn(a, b, &sink);
+    const auto t1 = std::chrono::steady_clock::now();
+    WTPG_CHECK_GT(sink, 0u);
+    const double seconds = Seconds(t0, t1);
+    const double mops = seconds > 0.0 ? ops / seconds / 1e6 : 0.0;
+    if (rep == 0 || mops > r.mops_per_s) {
+      r.ops = ops;
+      r.seconds = seconds;
+      r.mops_per_s = mops;
+    }
+  }
+  return r;
+}
+
+struct EndToEndResult {
+  std::string scheduler;
+  uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_s = 0.0;
+  uint64_t completions = 0;
+};
+
+EndToEndResult RunEndToEnd(SchedulerKind kind, uint64_t max_arrivals,
+                           double horizon_ms) {
+  SimConfig config;
+  config.scheduler = kind;
+  config.run.horizon_ms = horizon_ms;
+  // Near the knee of the Fig.-8 rate grid: contended enough that scheduler
+  // decisions (WTPG evaluations, lock scans) dominate, not idle arrivals.
+  // The arrival cap (not the horizon) bounds the work: a saturated
+  // scheduler's backlog grows with simulated time, so long horizons cost
+  // quadratic wall time; a fixed arrival count with a generous drain
+  // horizon keeps every scheduler's workload comparable and finite.
+  config.workload.arrival_rate_tps = 1.2;
+  config.workload.max_arrivals = max_arrivals;
+  Machine machine(config, Pattern::Experiment1(config.machine.num_files));
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunStats stats = machine.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  EndToEndResult r;
+  r.scheduler = SchedulerKindName(kind);
+  r.events = machine.simulator().events_executed();
+  r.seconds = Seconds(t0, t1);
+  r.events_per_s = r.seconds > 0.0 ? r.events / r.seconds : 0.0;
+  r.completions = stats.completions;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddBool("smoke", false,
+                "tiny iteration counts (ctest perf label / sanitizers)");
+  flags.AddString("out-json", "BENCH_sim_core.json", "JSON result file");
+  flags.AddString("out-csv", "micro_sim_core.csv", "CSV result file");
+  flags.AddBool("help", false, "print usage");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+
+  const bool smoke = flags.GetBool("smoke");
+  // Queue sizes: instrumenting Simulator::Step across all four schedulers
+  // at the Fig.-8 operating point (rate 1.2, Experiment 1 pattern) shows
+  // the pending-event population is tiny — mean 3-8, max 11 — because the
+  // backlog under load lives in scheduler admission queues, not the event
+  // queue. batch=64 is a generous envelope of that regime and is the
+  // headline schedule+pop number; the _deep variant (batch 1024, ~5 heap
+  // levels) and churn (resident 4096) keep the deep-heap regime tracked.
+  const int rounds = smoke ? 128 : 32'000;
+  const int batch = 64;
+  const int deep_rounds = smoke ? 8 : 2000;
+  const int deep_batch = 1024;
+  const int churn_steps = smoke ? 20'000 : 4'000'000;
+  const int churn_resident = 4096;
+  const uint64_t max_arrivals = smoke ? 200 : 5'000;
+  const double horizon_ms = 100'000'000;  // Drain horizon; arrivals bound work.
+
+  struct Spec {
+    const char* name;
+    uint64_t (*legacy)(int, int, uint64_t*);
+    uint64_t (*dense)(int, int, uint64_t*);
+    int a, b;
+  };
+  const Spec specs[] = {
+      {"schedule_pop", &RunSchedulePop<LegacyEventQueue>,
+       &RunSchedulePop<EventQueue>, rounds, batch},
+      {"schedule_pop_deep", &RunSchedulePop<LegacyEventQueue>,
+       &RunSchedulePop<EventQueue>, deep_rounds, deep_batch},
+      {"cancel_heavy", &RunCancelHeavy<LegacyEventQueue>,
+       &RunCancelHeavy<EventQueue>, rounds, batch},
+      {"churn", &RunChurn<LegacyEventQueue>, &RunChurn<EventQueue>,
+       churn_steps, churn_resident},
+  };
+
+  TablePrinter queue_table(
+      {"workload", "legacy Mops/s", "dense Mops/s", "speedup"});
+  std::vector<WorkloadResult> rows;
+  std::string queue_json;
+  CsvWriter csv;
+  const Status csv_status = csv.Open(flags.GetString("out-csv"));
+  if (!csv_status.ok()) {
+    std::fprintf(stderr, "%s\n", csv_status.ToString().c_str());
+    return 1;
+  }
+  csv.WriteHeader({"section", "workload", "impl", "ops", "seconds",
+                   "mops_per_s", "speedup_vs_legacy"});
+
+  double schedule_pop_speedup = 0.0;
+  const int reps = smoke ? 1 : 5;
+  for (const Spec& spec : specs) {
+    const WorkloadResult legacy = Measure<LegacyEventQueue>(
+        spec.name, "legacy", spec.legacy, spec.a, spec.b, reps);
+    const WorkloadResult dense = Measure<EventQueue>(
+        spec.name, "dense", spec.dense, spec.a, spec.b, reps);
+    const double speedup = legacy.mops_per_s > 0.0
+                               ? dense.mops_per_s / legacy.mops_per_s
+                               : 0.0;
+    if (spec.name == std::string("schedule_pop")) {
+      schedule_pop_speedup = speedup;
+    }
+    queue_table.AddRow({spec.name, FormatDouble(legacy.mops_per_s, 2),
+                        FormatDouble(dense.mops_per_s, 2),
+                        FormatDouble(speedup, 2)});
+    for (const WorkloadResult& r : {legacy, dense}) {
+      JsonWriter row;
+      row.Add("workload", r.workload)
+          .Add("impl", r.impl)
+          .Add("ops", r.ops)
+          .Add("seconds", r.seconds)
+          .Add("mops_per_s", r.mops_per_s)
+          .Add("speedup_vs_legacy",
+               r.impl == "dense" ? speedup : 1.0);
+      if (!queue_json.empty()) queue_json += ',';
+      queue_json += row.ToString();
+      csv.WriteRow({"queue", r.workload, r.impl, StrCat(r.ops),
+                    FormatDouble(r.seconds, 4), FormatDouble(r.mops_per_s, 3),
+                    FormatDouble(r.impl == "dense" ? speedup : 1.0, 3)});
+    }
+  }
+  queue_table.Print();
+
+  constexpr SchedulerKind kKinds[] = {SchedulerKind::kTwoPl,
+                                      SchedulerKind::kC2pl,
+                                      SchedulerKind::kGow, SchedulerKind::kLow};
+  TablePrinter e2e_table({"scheduler", "events", "wall(s)", "events/s"});
+  std::string e2e_json;
+  for (SchedulerKind kind : kKinds) {
+    const EndToEndResult r = RunEndToEnd(kind, max_arrivals, horizon_ms);
+    e2e_table.AddRow({r.scheduler, StrCat(r.events),
+                      FormatDouble(r.seconds, 3),
+                      FormatDouble(r.events_per_s, 0)});
+    JsonWriter row;
+    row.Add("scheduler", r.scheduler)
+        .Add("events", r.events)
+        .Add("seconds", r.seconds)
+        .Add("events_per_s", r.events_per_s)
+        .Add("completions", r.completions);
+    if (!e2e_json.empty()) e2e_json += ',';
+    e2e_json += row.ToString();
+    csv.WriteRow({"end_to_end", "replica", r.scheduler, StrCat(r.events),
+                  FormatDouble(r.seconds, 4),
+                  FormatDouble(r.events_per_s / 1e6, 3), ""});
+  }
+  e2e_table.Print();
+
+  JsonWriter json;
+  json.Add("bench", "sim_core")
+      .Add("smoke", smoke)
+      .Add("schedule_pop_speedup", schedule_pop_speedup)
+      .AddRaw("queue", StrCat("[", queue_json, "]"))
+      .AddRaw("end_to_end", StrCat("[", e2e_json, "]"));
+  const std::string out_path = flags.GetString("out-json");
+  std::ofstream out(out_path);
+  out << json.ToString() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const Status close_status = csv.Close();
+  if (!close_status.ok()) {
+    std::fprintf(stderr, "%s\n", close_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("-> %s, %s\n", out_path.c_str(),
+              flags.GetString("out-csv").c_str());
+  return 0;
+}

@@ -5,11 +5,24 @@
 #include "util/logging.h"
 
 namespace wtpgsched {
+namespace {
+
+const std::vector<LockTable::Holder>& EmptyHolders() {
+  static const std::vector<LockTable::Holder> empty;
+  return empty;
+}
+
+}  // namespace
+
+const std::vector<LockTable::Holder>& LockTable::HoldersOf(
+    FileId file) const {
+  const size_t idx = static_cast<size_t>(file);
+  if (file < 0 || idx >= holders_.size()) return EmptyHolders();
+  return holders_[idx];
+}
 
 bool LockTable::CanGrant(FileId file, TxnId txn, LockMode mode) const {
-  auto it = locks_.find(file);
-  if (it == locks_.end()) return true;
-  for (const Holder& h : it->second) {
+  for (const Holder& h : HoldersOf(file)) {
     if (h.txn == txn) continue;
     if (!Compatible(h.mode, mode)) return false;
   }
@@ -23,6 +36,7 @@ void LockTable::Grant(FileId file, TxnId txn, LockMode mode) {
 }
 
 void LockTable::ForceGrant(FileId file, TxnId txn, LockMode mode) {
+  WTPG_CHECK_GE(file, 0);
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->Record({.time = trace_->now(),
                     .type = TraceEventType::kLockGrant,
@@ -30,7 +44,13 @@ void LockTable::ForceGrant(FileId file, TxnId txn, LockMode mode) {
                     .file = file,
                     .mode = mode});
   }
-  auto& holders = locks_[file];
+  if (static_cast<size_t>(file) >= holders_.size()) {
+    holders_.resize(static_cast<size_t>(file) + 1);
+  }
+  // Unconditionally, mirroring the historical operator[] insert — the shadow
+  // must see the same key sequence the old keyed storage saw.
+  released_order_.try_emplace(file);
+  auto& holders = holders_[static_cast<size_t>(file)];
   for (Holder& h : holders) {
     if (h.txn == txn) {
       h.mode = Stronger(h.mode, mode);
@@ -42,23 +62,24 @@ void LockTable::ForceGrant(FileId file, TxnId txn, LockMode mode) {
 
 std::vector<FileId> LockTable::ReleaseAll(TxnId txn) {
   std::vector<FileId> released;
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    auto& holders = it->second;
+  for (auto it = released_order_.begin(); it != released_order_.end();) {
+    const FileId file = it->first;
+    auto& holders = holders_[static_cast<size_t>(file)];
     const size_t before = holders.size();
     holders.erase(std::remove_if(holders.begin(), holders.end(),
                                  [txn](const Holder& h) { return h.txn == txn; }),
                   holders.end());
     if (holders.size() != before) {
-      released.push_back(it->first);
+      released.push_back(file);
       if (trace_ != nullptr && trace_->enabled()) {
         trace_->Record({.time = trace_->now(),
                         .type = TraceEventType::kLockRelease,
                         .txn = txn,
-                        .file = it->first});
+                        .file = file});
       }
     }
     if (holders.empty()) {
-      it = locks_.erase(it);
+      it = released_order_.erase(it);
     } else {
       ++it;
     }
@@ -67,46 +88,46 @@ std::vector<FileId> LockTable::ReleaseAll(TxnId txn) {
 }
 
 bool LockTable::HoldsSufficient(FileId file, TxnId txn, LockMode mode) const {
-  auto it = locks_.find(file);
-  if (it == locks_.end()) return false;
-  for (const Holder& h : it->second) {
+  for (const Holder& h : HoldersOf(file)) {
     if (h.txn == txn) return Stronger(h.mode, mode) == h.mode;
   }
   return false;
 }
 
 bool LockTable::Holds(FileId file, TxnId txn) const {
-  auto it = locks_.find(file);
-  if (it == locks_.end()) return false;
-  for (const Holder& h : it->second) {
+  for (const Holder& h : HoldersOf(file)) {
     if (h.txn == txn) return true;
   }
   return false;
 }
 
 std::vector<LockTable::Holder> LockTable::GetHolders(FileId file) const {
-  auto it = locks_.find(file);
-  if (it == locks_.end()) return {};
-  return it->second;
+  return HoldersOf(file);
+}
+
+void LockTable::GetHolders(FileId file, std::vector<Holder>* out) const {
+  const std::vector<Holder>& holders = HoldersOf(file);
+  out->assign(holders.begin(), holders.end());
 }
 
 std::vector<TxnId> LockTable::ConflictingHolders(FileId file, TxnId txn,
                                                  LockMode mode) const {
   std::vector<TxnId> result;
-  auto it = locks_.find(file);
-  if (it == locks_.end()) return result;
-  for (const Holder& h : it->second) {
-    if (h.txn != txn && !Compatible(h.mode, mode)) result.push_back(h.txn);
-  }
+  ConflictingHolders(file, txn, mode, &result);
   return result;
 }
 
-size_t LockTable::num_locked_files() const { return locks_.size(); }
+void LockTable::ConflictingHolders(FileId file, TxnId txn, LockMode mode,
+                                   std::vector<TxnId>* out) const {
+  out->clear();
+  for (const Holder& h : HoldersOf(file)) {
+    if (h.txn != txn && !Compatible(h.mode, mode)) out->push_back(h.txn);
+  }
+}
 
 size_t LockTable::NumHeldBy(TxnId txn) const {
   size_t count = 0;
-  for (const auto& [file, holders] : locks_) {
-    (void)file;
+  for (const auto& holders : holders_) {
     for (const Holder& h : holders) {
       if (h.txn == txn) ++count;
     }

@@ -18,6 +18,12 @@ namespace wtpgsched {
 //
 // ForceGrant() records a lock regardless of compatibility — NODC uses it to
 // model "grant any lock at any time" while release bookkeeping still works.
+//
+// FileIds are dense (0..num_files), so holder lists live in a flat vector
+// indexed by file — every query is an array index plus a scan of a tiny
+// holder list, no hashing. A hashed shadow of the locked-file set is kept
+// solely to preserve ReleaseAll's historical iteration order (see
+// released_order_ below); queries never touch it.
 class LockTable {
  public:
   struct Holder {
@@ -47,15 +53,23 @@ class LockTable {
 
   bool Holds(FileId file, TxnId txn) const;
 
-  // Current holders of `file` (empty vector if unlocked).
+  // Current holders of `file` (empty if unlocked). The reference stays
+  // valid only until the next mutation; the copying and out-parameter
+  // variants are for callers that mutate while consuming.
+  const std::vector<Holder>& HoldersOf(FileId file) const;
   std::vector<Holder> GetHolders(FileId file) const;
+  void GetHolders(FileId file, std::vector<Holder>* out) const;
 
-  // Holders (other than `txn`) whose mode conflicts with `mode`.
+  // Holders (other than `txn`) whose mode conflicts with `mode`. The
+  // out-parameter variant clears and fills *out (for hot call sites that
+  // would otherwise allocate a vector per query).
   std::vector<TxnId> ConflictingHolders(FileId file, TxnId txn,
                                         LockMode mode) const;
+  void ConflictingHolders(FileId file, TxnId txn, LockMode mode,
+                          std::vector<TxnId>* out) const;
 
   // Number of files currently locked by anyone.
-  size_t num_locked_files() const;
+  size_t num_locked_files() const { return released_order_.size(); }
   // Number of locks held by `txn`.
   size_t NumHeldBy(TxnId txn) const;
 
@@ -66,7 +80,15 @@ class LockTable {
 
  private:
   // Holder lists are tiny (bounded by active transactions); linear scans.
-  std::unordered_map<FileId, std::vector<Holder>> locks_;
+  // Indexed by FileId; grown on demand. Emptied slots keep their capacity.
+  std::vector<std::vector<Holder>> holders_;
+  // Order shadow: the set of currently locked files, fed the exact insert /
+  // erase sequence the pre-dense unordered_map keyed storage received, so
+  // ReleaseAll walks files in the identical (libstdc++ hash-order)
+  // sequence. The order is observable downstream — released files wake
+  // waiters in order, and waiters queue FIFO on the control node — so
+  // committed goldens pin it. Only ReleaseAll iterates this map.
+  std::unordered_map<FileId, char> released_order_;
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -28,36 +28,41 @@ RoundRobinServer::JobId Dpn::SubmitCohort(double objects,
       MsToTime(quantum_objects * obj_time_ms_ * slowdown_), 1);
   submitted_objects_ += objects;
   const RoundRobinServer::JobId id = server_.next_job_id();
-  const RoundRobinServer::JobId assigned = server_.Submit(
-      service, quantum, [this, id, objects, cb = std::move(done)]() {
-        resident_objects_.erase(id);
-        completed_objects_ += objects;
-        if (cb) cb();
-      });
+  const RoundRobinServer::JobId assigned =
+      server_.Submit(service, quantum, [this, id] { OnCohortDone(id); });
   WTPG_CHECK_EQ(assigned, id);
-  resident_objects_.emplace(id, objects);
+  resident_.emplace(id, Cohort{objects, std::move(done)});
   return id;
 }
 
+void Dpn::OnCohortDone(RoundRobinServer::JobId job) {
+  auto it = resident_.find(job);
+  WTPG_CHECK(it != resident_.end());
+  completed_objects_ += it->second.objects;
+  RoundRobinServer::Callback cb = std::move(it->second.done);
+  resident_.erase(it);
+  if (cb) cb();
+}
+
 void Dpn::CancelCohort(RoundRobinServer::JobId job) {
-  auto it = resident_objects_.find(job);
-  if (it == resident_objects_.end()) return;  // Already completed.
+  auto it = resident_.find(job);
+  if (it == resident_.end()) return;  // Already completed.
   server_.Cancel(job);
   // The whole cohort leaves the backlog: its completion callback will never
   // run the += above, so settle the account here.
-  completed_objects_ += it->second;
-  resident_objects_.erase(it);
+  completed_objects_ += it->second.objects;
+  resident_.erase(it);
 }
 
 void Dpn::Crash() {
   up_ = false;
   slowdown_ = 1.0;  // A repair brings the node back at full speed.
   server_.CancelAll();
-  for (const auto& [job, objects] : resident_objects_) {
+  for (const auto& [job, cohort] : resident_) {
     (void)job;
-    completed_objects_ += objects;
+    completed_objects_ += cohort.objects;
   }
-  resident_objects_.clear();
+  resident_.clear();
 }
 
 void Dpn::Repair() {

@@ -60,6 +60,8 @@ class Dpn {
   uint64_t cohorts_completed() const { return server_.jobs_completed(); }
 
  private:
+  void OnCohortDone(RoundRobinServer::JobId job);
+
   NodeId id_;
   double obj_time_ms_;
   RoundRobinServer server_;
@@ -68,9 +70,16 @@ class Dpn {
   // Work accounting for BacklogObjects(): submitted minus completed.
   double submitted_objects_ = 0.0;
   double completed_objects_ = 0.0;
-  // Objects of each resident cohort, for the backlog refund on cancel.
+  // Per-resident-cohort state: objects for the backlog refund on cancel,
+  // plus the caller's completion callback. Parking the callback here keeps
+  // the lambda handed to the server inside the inline capture budget (a
+  // callback captured *inside* another same-capacity callback cannot fit).
   // Ordered so the crash refund sums in a deterministic order.
-  std::map<RoundRobinServer::JobId, double> resident_objects_;
+  struct Cohort {
+    double objects;
+    RoundRobinServer::Callback done;
+  };
+  std::map<RoundRobinServer::JobId, Cohort> resident_;
 };
 
 }  // namespace wtpgsched

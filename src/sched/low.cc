@@ -21,28 +21,26 @@ SimTime LowScheduler::LockDecisionCost(const Transaction& txn,
   if (!charge_per_eval_) return kwtpgtime_;
   const FileId file = txn.step(step).file;
   const LockMode mode = txn.RequestModeAt(step);
-  const size_t conflicters =
-      PendingConflicters(file, txn.id(), mode).size();
+  const size_t conflicters = CountPendingConflicters(file, txn.id(), mode);
   // One evaluation for E(q) plus one per competitor E(p).
   return kwtpgtime_ * static_cast<SimTime>(1 + conflicters);
 }
 
 bool LowScheduler::AdmissionWithinK(const Transaction& txn) const {
   for (const auto& [file, mode] : txn.lock_modes()) {
-    // Pending accessors of this granule, with the newcomer included.
-    std::vector<std::pair<TxnId, LockMode>> accessors;
-    accessors.emplace_back(txn.id(), mode);
-    for (const auto& [id, other] : active_) {
-      auto it = other->lock_modes().find(file);
-      if (it == other->lock_modes().end()) continue;
-      if (lock_table_.Holds(file, id)) continue;  // Granted, not pending.
-      accessors.emplace_back(id, it->second);
+    // Pending accessors of this granule (index, no active-set rescan), with
+    // the newcomer joining them. Every would-be requester must see at most K
+    // conflicting declarations.
+    const auto& pending = PendingAccessors(file);
+    int newcomer_conflicters = 0;
+    for (const PendingAccess& p : pending) {
+      if (Conflicts(mode, p.mode)) ++newcomer_conflicters;
     }
-    // Every would-be requester must see at most K conflicting declarations.
-    for (const auto& [id, m] : accessors) {
-      int conflicters = 0;
-      for (const auto& [oid, om] : accessors) {
-        if (oid != id && Conflicts(m, om)) ++conflicters;
+    if (newcomer_conflicters > k_) return false;
+    for (const PendingAccess& p : pending) {
+      int conflicters = Conflicts(p.mode, mode) ? 1 : 0;  // The newcomer.
+      for (const PendingAccess& o : pending) {
+        if (o.txn != p.txn && Conflicts(p.mode, o.mode)) ++conflicters;
       }
       if (conflicters > k_) return false;
     }
@@ -67,7 +65,8 @@ Decision LowScheduler::DecideLock(Transaction& txn, int step) {
   if (!lock_table_.CanGrant(file, txn.id(), mode)) {
     return Decision{DecisionKind::kBlock, file};
   }
-  std::vector<TxnId> competitors = PendingConflicters(file, txn.id(), mode);
+  PendingConflicters(file, txn.id(), mode, &competitors_scratch_);
+  const std::vector<TxnId>& competitors = competitors_scratch_;
   WTPG_CHECK_LE(static_cast<int>(competitors.size()), k_)
       << "admission control must bound |C(q)|";
   // Phase2: E(q). Test the raw evaluation for deadlock (infinity) before
@@ -104,8 +103,8 @@ Decision LowScheduler::DecideLock(Transaction& txn, int step) {
   for (TxnId u : competitors) {
     const Transaction* other = active_.at(u);
     const LockMode other_mode = other->lock_modes().at(file);
-    const double ep =
-        EvaluateGrant(graph_, u, PendingConflicters(file, u, other_mode));
+    PendingConflicters(file, u, other_mode, &cp_scratch_);
+    const double ep = EvaluateGrant(graph_, u, cp_scratch_);
     if (tracing()) {
       // Competitor evaluation: E(p) for p in C(q); arg = -1 marks it as a
       // competitor row of the preceding kLowEval.

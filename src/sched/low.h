@@ -2,6 +2,7 @@
 #define WTPG_SCHED_SCHED_LOW_H_
 
 #include <string>
+#include <vector>
 
 #include "sched/scheduler.h"
 
@@ -60,6 +61,10 @@ class LowScheduler : public WtpgSchedulerBase {
   bool charge_per_eval_;
   uint64_t admission_k_rejections_ = 0;
   uint64_t deadlock_delays_ = 0;
+  // DecideLock scratch (|C(q)| <= K): the E(q) competitor set and the inner
+  // per-competitor C(p) list live across EvaluateGrant calls, so two.
+  std::vector<TxnId> competitors_scratch_;
+  std::vector<TxnId> cp_scratch_;
 };
 
 }  // namespace wtpgsched

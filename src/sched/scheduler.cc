@@ -1,5 +1,7 @@
 #include "sched/scheduler.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace wtpgsched {
@@ -40,6 +42,7 @@ Decision Scheduler::OnLockRequest(Transaction& txn, int step) {
       } else {
         lock_table_.ForceGrant(file, txn.id(), mode);
       }
+      OnLockRecorded(txn, file);
     }
     AfterGrant(txn, step);
   }
@@ -88,13 +91,25 @@ void WtpgSchedulerBase::AddToGraph(Transaction& txn) {
   }
   // Strict locking: a transaction already holding a granule that txn will
   // need in a conflicting mode precedes txn — the order is determined now.
+  // Every declared access also enters the pending index here; it leaves when
+  // the lock is recorded (OnLockRecorded) or the incarnation ends.
   for (const auto& [file, mode] : txn.lock_modes()) {
-    for (TxnId holder :
-         lock_table_.ConflictingHolders(file, txn.id(), mode)) {
+    lock_table_.ConflictingHolders(file, txn.id(), mode, &holders_scratch_);
+    for (TxnId holder : holders_scratch_) {
       WTPG_CHECK(graph_.OrientNoRollback(holder, txn.id()))
           << "pre-orientation of holder T" << holder << " -> new T"
           << txn.id() << " cannot cycle";
     }
+    if (static_cast<size_t>(file) >= pending_by_file_.size()) {
+      pending_by_file_.resize(static_cast<size_t>(file) + 1);
+    }
+    auto& pending = pending_by_file_[static_cast<size_t>(file)];
+    const auto pos = std::lower_bound(
+        pending.begin(), pending.end(), txn.id(),
+        [](const PendingAccess& a, TxnId id) { return a.txn < id; });
+    WTPG_CHECK(pos == pending.end() || pos->txn != txn.id())
+        << "T" << txn.id() << " already pending on file " << file;
+    pending.insert(pos, PendingAccess{txn.id(), mode});
   }
 }
 
@@ -104,33 +119,72 @@ void WtpgSchedulerBase::OnStepCompleted(Transaction& txn, int step) {
   graph_.SetRemaining(txn.id(), txn.DeclaredRemainingCost());
 }
 
+void WtpgSchedulerBase::OnLockRecorded(Transaction& txn, FileId file) {
+  RemovePending(file, txn.id());
+}
+
 void WtpgSchedulerBase::AfterCommit(Transaction& txn) {
   graph_.RemoveNode(txn.id());
+  for (const auto& [file, mode] : txn.lock_modes()) {
+    (void)mode;
+    RemovePending(file, txn.id());
+  }
 }
 
 void WtpgSchedulerBase::AfterAbort(Transaction& txn) {
   graph_.RemoveNode(txn.id());
+  for (const auto& [file, mode] : txn.lock_modes()) {
+    (void)mode;
+    RemovePending(file, txn.id());
+  }
+}
+
+void WtpgSchedulerBase::RemovePending(FileId file, TxnId txn) {
+  if (static_cast<size_t>(file) >= pending_by_file_.size()) return;
+  auto& pending = pending_by_file_[static_cast<size_t>(file)];
+  const auto pos = std::lower_bound(
+      pending.begin(), pending.end(), txn,
+      [](const PendingAccess& a, TxnId id) { return a.txn < id; });
+  if (pos != pending.end() && pos->txn == txn) pending.erase(pos);
+}
+
+const std::vector<WtpgSchedulerBase::PendingAccess>&
+WtpgSchedulerBase::PendingAccessors(FileId file) const {
+  static const std::vector<PendingAccess> empty;
+  const size_t idx = static_cast<size_t>(file);
+  if (file < 0 || idx >= pending_by_file_.size()) return empty;
+  return pending_by_file_[idx];
 }
 
 std::vector<TxnId> WtpgSchedulerBase::PendingConflicters(
     FileId file, TxnId requester, LockMode mode) const {
   std::vector<TxnId> result;
-  for (const auto& [id, other] : active_) {
-    if (id == requester) continue;
-    auto it = other->lock_modes().find(file);
-    if (it == other->lock_modes().end()) continue;
-    if (!Conflicts(mode, it->second)) continue;
-    if (lock_table_.Holds(file, id)) continue;  // Granted, not pending.
-    result.push_back(id);
-  }
+  PendingConflicters(file, requester, mode, &result);
   return result;
+}
+
+void WtpgSchedulerBase::PendingConflicters(FileId file, TxnId requester,
+                                           LockMode mode,
+                                           std::vector<TxnId>* out) const {
+  out->clear();
+  for (const PendingAccess& p : PendingAccessors(file)) {
+    if (p.txn != requester && Conflicts(mode, p.mode)) out->push_back(p.txn);
+  }
+}
+
+size_t WtpgSchedulerBase::CountPendingConflicters(FileId file, TxnId requester,
+                                                  LockMode mode) const {
+  size_t count = 0;
+  for (const PendingAccess& p : PendingAccessors(file)) {
+    if (p.txn != requester && Conflicts(mode, p.mode)) ++count;
+  }
+  return count;
 }
 
 void WtpgSchedulerBase::OrientAfterGrant(Transaction& txn, FileId file,
                                          LockMode mode) {
-  const std::vector<TxnId> targets =
-      PendingConflicters(file, txn.id(), mode);
-  WTPG_CHECK(graph_.OrientBatchNoRollback(txn.id(), targets))
+  PendingConflicters(file, txn.id(), mode, &targets_scratch_);
+  WTPG_CHECK(graph_.OrientBatchNoRollback(txn.id(), targets_scratch_))
       << "grant to T" << txn.id() << " on file " << file
       << " contradicts WTPG orientations — decision logic must have "
          "prevented this";

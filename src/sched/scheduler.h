@@ -130,6 +130,11 @@ class Scheduler {
   virtual void AfterAdmit(Transaction& /*txn*/) {}
 
   virtual Decision DecideLock(Transaction& txn, int step) = 0;
+  // Called the moment a granted lock lands in the table (before AfterGrant),
+  // so schedulers keeping derived lock-state indexes (e.g. the pending-
+  // accessor index in WtpgSchedulerBase) update them at the source of truth.
+  // Not called when traits().records_locks is false.
+  virtual void OnLockRecorded(Transaction& /*txn*/, FileId /*file*/) {}
   // Lock already recorded when this runs (WTPG schedulers orient edges).
   virtual void AfterGrant(Transaction& /*txn*/, int /*step*/) {}
 
@@ -153,27 +158,57 @@ class WtpgSchedulerBase : public Scheduler {
   void OnStepCompleted(Transaction& txn, int step) override;
 
  protected:
+  // A declared-but-ungranted access: one entry per (file, active txn) pair,
+  // kept in the per-file index below until the lock is recorded or the
+  // incarnation ends.
+  struct PendingAccess {
+    TxnId txn;
+    LockMode mode;  // The declared (strongest) mode for the file.
+  };
+
   // Adds txn to the graph: node with W0 = declared total, conflict edges to
   // every conflicting active transaction, and pre-orientations u -> txn for
   // every u already holding a conflicting lock (strict locking forces the
-  // order as soon as u holds the granule).
+  // order as soon as u holds the granule). Also registers txn's declared
+  // accesses in the pending-accessor index.
   void AddToGraph(Transaction& txn);
 
+  void OnLockRecorded(Transaction& txn, FileId file) override;
   void AfterCommit(Transaction& txn) override;
   void AfterAbort(Transaction& txn) override;
+
+  // Pending accessors of `file`, ascending TxnId. Maintained incrementally
+  // (insert at admission, erase at grant / commit / abort) so admission and
+  // lock decisions need no rescan of the active set.
+  const std::vector<PendingAccess>& PendingAccessors(FileId file) const;
 
   // Active transactions (other than `requester`) that have a *pending*
   // (declared but not yet granted) access to `file` conflicting with
   // `mode`. These are the C(q) candidates and the orientation targets of a
-  // grant.
+  // grant. The out-parameter variant clears and fills *out; the counting
+  // variant avoids materializing the list at all (decision-cost queries).
   std::vector<TxnId> PendingConflicters(FileId file, TxnId requester,
                                         LockMode mode) const;
+  void PendingConflicters(FileId file, TxnId requester, LockMode mode,
+                          std::vector<TxnId>* out) const;
+  size_t CountPendingConflicters(FileId file, TxnId requester,
+                                 LockMode mode) const;
 
   // Orients requester -> u for every pending conflicter after a grant.
   // The decision logic must have verified feasibility; failures are bugs.
   void OrientAfterGrant(Transaction& txn, FileId file, LockMode mode);
 
   Wtpg graph_;
+
+ private:
+  void RemovePending(FileId file, TxnId txn);
+
+  // Indexed by FileId (dense, grown on demand); each list sorted by TxnId
+  // so index-driven queries see the same ascending order the historical
+  // active_-map scan produced.
+  std::vector<std::vector<PendingAccess>> pending_by_file_;
+  std::vector<TxnId> holders_scratch_;   // AddToGraph pre-orientation scan.
+  std::vector<TxnId> targets_scratch_;   // OrientAfterGrant batch.
 };
 
 }  // namespace wtpgsched

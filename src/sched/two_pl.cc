@@ -27,7 +27,7 @@ bool TwoPlScheduler::WouldDeadlock(TxnId txn, FileId file) const {
   std::vector<TxnId> stack;
   std::unordered_set<TxnId> visited;
   auto push_holders = [&](FileId f, TxnId waiter) {
-    for (const LockTable::Holder& h : lock_table_.GetHolders(f)) {
+    for (const LockTable::Holder& h : lock_table_.HoldersOf(f)) {
       if (h.txn == waiter) continue;
       if (visited.insert(h.txn).second) stack.push_back(h.txn);
     }
@@ -39,7 +39,7 @@ bool TwoPlScheduler::WouldDeadlock(TxnId txn, FileId file) const {
     if (cur == txn) return true;
     auto it = waiting_on_.find(cur);
     if (it == waiting_on_.end()) continue;
-    for (const LockTable::Holder& h : lock_table_.GetHolders(it->second)) {
+    for (const LockTable::Holder& h : lock_table_.HoldersOf(it->second)) {
       if (h.txn == txn) return true;
       if (h.txn != cur && visited.insert(h.txn).second) {
         stack.push_back(h.txn);

@@ -2,11 +2,11 @@
 #define WTPG_SCHED_SIM_FCFS_SERVER_H_
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/inplace_function.h"
 
 namespace wtpgsched {
 
@@ -15,7 +15,7 @@ namespace wtpgsched {
 // decision, message and commit action is a small CPU burst.
 class FcfsServer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void(), EventQueue::kInlineCallbackBytes>;
 
   FcfsServer(Simulator* sim, std::string name);
   FcfsServer(const FcfsServer&) = delete;

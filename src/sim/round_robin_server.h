@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <unordered_map>
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/inplace_function.h"
 
 namespace wtpgsched {
 
@@ -21,7 +21,7 @@ namespace wtpgsched {
 // to end), matching a scan unit that cannot be preempted mid-object.
 class RoundRobinServer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void(), EventQueue::kInlineCallbackBytes>;
   using JobId = uint64_t;
 
   RoundRobinServer(Simulator* sim, std::string name);

@@ -1,0 +1,131 @@
+#ifndef WTPG_SCHED_UTIL_INPLACE_FUNCTION_H_
+#define WTPG_SCHED_UTIL_INPLACE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wtpgsched {
+
+// A fixed-capacity, never-allocating replacement for std::function, built
+// for the simulation kernel's event callbacks: every capture lives in the
+// inline buffer, so scheduling an event performs zero heap allocations.
+//
+// The capture budget is enforced at compile time — a lambda that outgrows
+// `Capacity` fails the static_assert at its construction site, naming the
+// offending callback instead of silently falling back to the heap. Grow the
+// callback's capacity (or shrink the capture) deliberately; never add a
+// heap fallback, it would re-introduce the per-event allocation this type
+// exists to remove.
+//
+// Move-only by design: the kernel moves callbacks from call sites into the
+// event slab and out again on dispatch; nothing copies them. Moves must be
+// noexcept so slab/vector growth can relocate records freely.
+template <typename Signature, size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InplaceFunction>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable signature mismatch");
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callback capture exceeds the inline budget — shrink the "
+                  "capture or raise the call site's Capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callback capture over-aligned for the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback capture must be nothrow-movable");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::value;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { MoveFrom(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*move_destroy)(void* dst, void* src);  // Move-construct, then destroy src.
+    void (*destroy)(void*);
+    // Trivially copyable + destructible callable: moves are a fixed-size
+    // memcpy and destruction is a no-op, skipping the indirect calls. The
+    // kernel's hot callbacks (pointer/id/double captures) are all trivial.
+    bool trivial;
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static R Invoke(void* storage, Args&&... args) {
+      return (*static_cast<Fn*>(storage))(std::forward<Args>(args)...);
+    }
+    static void MoveDestroy(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { static_cast<Fn*>(storage)->~Fn(); }
+    static constexpr Ops value{&Invoke, &MoveDestroy, &Destroy,
+                               std::is_trivially_copyable_v<Fn> &&
+                                   std::is_trivially_destructible_v<Fn>};
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void MoveFrom(InplaceFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->trivial) {
+        std::memcpy(storage_, other.storage_, Capacity);
+      } else {
+        other.ops_->move_destroy(storage_, other.storage_);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_INPLACE_FUNCTION_H_

@@ -3,15 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "util/logging.h"
 
 namespace wtpgsched {
 namespace {
 
-void EraseValue(std::vector<TxnId>* list, TxnId value) {
+void EraseValue(std::vector<int32_t>* list, int32_t value) {
   list->erase(std::remove(list->begin(), list->end(), value), list->end());
 }
 
@@ -30,73 +28,180 @@ Wtpg::Wtpg() : reference_speculation_(EnvReferenceSpeculation()) {}
 Wtpg::Wtpg(bool reference_speculation)
     : reference_speculation_(reference_speculation) {}
 
+int32_t Wtpg::SlotOf(TxnId id) const {
+  auto it = slot_of_.find(id);
+  WTPG_CHECK(it != slot_of_.end()) << "T" << id << " not in WTPG";
+  return it->second;
+}
+
+int32_t Wtpg::SlotOrNull(TxnId id) const {
+  auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? -1 : it->second;
+}
+
 void Wtpg::AddNode(TxnId id, double remaining) {
   WTPG_CHECK_GE(remaining, 0.0);
-  auto [it, inserted] = nodes_.emplace(id, Node{remaining, {}, {}, {}});
+  int32_t slot;
+  if (free_head_ >= 0) {
+    slot = free_head_;
+    free_head_ = slots_[static_cast<size_t>(slot)].next_free;
+  } else {
+    slot = static_cast<int32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  const auto [it, inserted] = slot_of_.emplace(id, slot);
   (void)it;
   WTPG_CHECK(inserted) << "node T" << id << " already in WTPG";
+  Node& node = slots_[static_cast<size_t>(slot)];
+  node.id = id;
+  node.remaining = remaining;
+  node.next_free = -1;
+  node.dist_state = kDistInvalid;
+  // neighbors/out/in/in_w were cleared on removal and keep their capacity;
+  // stale epoch marks can never equal a future epoch.
 }
 
 void Wtpg::AddConflictEdge(TxnId a, TxnId b, double weight_ab,
                            double weight_ba) {
   WTPG_CHECK_NE(a, b);
-  WTPG_CHECK(HasNode(a)) << "T" << a;
-  WTPG_CHECK(HasNode(b)) << "T" << b;
   WTPG_CHECK_GE(weight_ab, 0.0);
   WTPG_CHECK_GE(weight_ba, 0.0);
-  Edge edge;
+  const int32_t sa = SlotOrNull(a);
+  const int32_t sb = SlotOrNull(b);
+  WTPG_CHECK(sa >= 0) << "T" << a;
+  WTPG_CHECK(sb >= 0) << "T" << b;
+  Edge* edge = InsertEdge(sa, sb);
+  WTPG_CHECK(edge != nullptr)
+      << "edge (T" << a << ",T" << b << ") already in WTPG";
   if (a < b) {
-    edge = Edge{a, b, weight_ab, weight_ba, false, kInvalidTxn};
+    *edge = Edge{a, b, weight_ab, weight_ba, false, kInvalidTxn};
   } else {
-    edge = Edge{b, a, weight_ba, weight_ab, false, kInvalidTxn};
+    *edge = Edge{b, a, weight_ba, weight_ab, false, kInvalidTxn};
   }
-  auto [it, inserted] = edges_.emplace(MakeKey(a, b), edge);
-  (void)it;
-  WTPG_CHECK(inserted) << "edge (T" << a << ",T" << b << ") already in WTPG";
-  nodes_.at(a).neighbors.push_back(b);
-  nodes_.at(b).neighbors.push_back(a);
+  slots_[static_cast<size_t>(sa)].neighbors.push_back(sb);
+  slots_[static_cast<size_t>(sb)].neighbors.push_back(sa);
 }
 
 void Wtpg::RemoveNode(TxnId id) {
-  auto it = nodes_.find(id);
-  WTPG_CHECK(it != nodes_.end()) << "RemoveNode: T" << id << " not in WTPG";
+  const int32_t slot = SlotOrNull(id);
+  WTPG_CHECK(slot >= 0) << "RemoveNode: T" << id << " not in WTPG";
+  Node& node = slots_[static_cast<size_t>(slot)];
   // Removing the node removes its out-edges, so every oriented descendant's
   // distance can shrink. Invalidate while the edges still exist (this also
   // drops `id`'s own memoized distance, keeping dist_valid_ consistent).
-  InvalidateDownstream(id);
-  for (TxnId nb : it->second.neighbors) {
-    edges_.erase(MakeKey(id, nb));
-    Node& other = nodes_.at(nb);
-    EraseValue(&other.neighbors, id);
-    EraseValue(&other.out, id);
+  InvalidateDownstream(slot);
+  for (int32_t nb : node.neighbors) {
+    EraseEdge(slot, nb);
+    Node& other = slots_[static_cast<size_t>(nb)];
+    EraseValue(&other.neighbors, slot);
+    EraseValue(&other.out, slot);
     for (size_t i = other.in.size(); i-- > 0;) {
-      if (other.in[i] == id) {
+      if (other.in[i] == slot) {
         other.in.erase(other.in.begin() + static_cast<std::ptrdiff_t>(i));
         other.in_w.erase(other.in_w.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
   }
-  nodes_.erase(it);
+  node.neighbors.clear();
+  node.out.clear();
+  node.in.clear();
+  node.in_w.clear();
+  node.id = kInvalidTxn;
+  node.next_free = free_head_;
+  free_head_ = slot;
+  slot_of_.erase(id);
 }
 
 void Wtpg::SetRemaining(TxnId id, double remaining) {
   WTPG_CHECK_GE(remaining, 0.0);
-  Node& node = nodes_.at(id);
+  Node& node = slots_[static_cast<size_t>(slot_of_.at(id))];
   if (node.remaining == remaining) return;
-  InvalidateDownstream(id);
+  InvalidateDownstream(slot_of_.at(id));
   node.remaining = remaining;
 }
 
-double Wtpg::remaining(TxnId id) const { return nodes_.at(id).remaining; }
-
-const Wtpg::Edge* Wtpg::FindEdge(TxnId a, TxnId b) const {
-  auto it = edges_.find(MakeKey(a, b));
-  return it == edges_.end() ? nullptr : &it->second;
+double Wtpg::remaining(TxnId id) const {
+  return slots_[static_cast<size_t>(slot_of_.at(id))].remaining;
 }
 
-Wtpg::Edge* Wtpg::MutableEdge(TxnId a, TxnId b) {
-  auto it = edges_.find(MakeKey(a, b));
-  return it == edges_.end() ? nullptr : &it->second;
+// --- Open-addressed edge table ---
+
+const Wtpg::Edge* Wtpg::FindEdgeBySlots(int32_t sa, int32_t sb) const {
+  if (edge_buckets_.empty()) return nullptr;
+  const uint64_t key = PackSlots(sa, sb);
+  const size_t mask = edge_buckets_.size() - 1;
+  for (size_t idx = BucketFor(key);; idx = (idx + 1) & mask) {
+    const EdgeBucket& bucket = edge_buckets_[idx];
+    if (bucket.key == kEmptyEdgeKey) return nullptr;
+    if (bucket.key == key) return &bucket.edge;
+  }
+}
+
+Wtpg::Edge* Wtpg::MutableEdgeBySlots(int32_t sa, int32_t sb) {
+  return const_cast<Edge*>(FindEdgeBySlots(sa, sb));
+}
+
+Wtpg::Edge* Wtpg::InsertEdge(int32_t sa, int32_t sb) {
+  if (edge_buckets_.empty() ||
+      (num_edges_ + 1) * 2 > edge_buckets_.size()) {
+    GrowEdgeTable();
+  }
+  const uint64_t key = PackSlots(sa, sb);
+  const size_t mask = edge_buckets_.size() - 1;
+  for (size_t idx = BucketFor(key);; idx = (idx + 1) & mask) {
+    EdgeBucket& bucket = edge_buckets_[idx];
+    if (bucket.key == key) return nullptr;  // Duplicate.
+    if (bucket.key == kEmptyEdgeKey) {
+      bucket.key = key;
+      ++num_edges_;
+      return &bucket.edge;
+    }
+  }
+}
+
+void Wtpg::EraseEdge(int32_t sa, int32_t sb) {
+  WTPG_CHECK(!edge_buckets_.empty());
+  const uint64_t key = PackSlots(sa, sb);
+  const size_t mask = edge_buckets_.size() - 1;
+  size_t hole = BucketFor(key);
+  for (;; hole = (hole + 1) & mask) {
+    WTPG_CHECK(edge_buckets_[hole].key != kEmptyEdgeKey)
+        << "EraseEdge: edge not in table";
+    if (edge_buckets_[hole].key == key) break;
+  }
+  --num_edges_;
+  // Backward-shift deletion: pull displaced entries into the hole so every
+  // remaining entry stays reachable from its home bucket.
+  for (size_t idx = (hole + 1) & mask; edge_buckets_[idx].key != kEmptyEdgeKey;
+       idx = (idx + 1) & mask) {
+    const size_t home = BucketFor(edge_buckets_[idx].key);
+    if (((idx - home) & mask) >= ((idx - hole) & mask)) {
+      edge_buckets_[hole] = edge_buckets_[idx];
+      hole = idx;
+    }
+  }
+  edge_buckets_[hole].key = kEmptyEdgeKey;
+}
+
+void Wtpg::GrowEdgeTable() {
+  const size_t new_capacity =
+      edge_buckets_.empty() ? 16 : edge_buckets_.size() * 2;
+  std::vector<EdgeBucket> old = std::move(edge_buckets_);
+  edge_buckets_.assign(new_capacity, EdgeBucket{});
+  const size_t mask = new_capacity - 1;
+  for (EdgeBucket& bucket : old) {
+    if (bucket.key == kEmptyEdgeKey) continue;
+    size_t idx = BucketFor(bucket.key);
+    while (edge_buckets_[idx].key != kEmptyEdgeKey) idx = (idx + 1) & mask;
+    edge_buckets_[idx] = bucket;
+  }
+}
+
+const Wtpg::Edge* Wtpg::FindEdge(TxnId a, TxnId b) const {
+  const int32_t sa = SlotOrNull(a);
+  const int32_t sb = SlotOrNull(b);
+  if (sa < 0 || sb < 0) return nullptr;
+  return FindEdgeBySlots(sa, sb);
 }
 
 bool Wtpg::IsOriented(TxnId from, TxnId to) const {
@@ -104,32 +209,29 @@ bool Wtpg::IsOriented(TxnId from, TxnId to) const {
   return e != nullptr && e->oriented && e->from == from;
 }
 
-// Note: MarkOriented / UnmarkOriented do NOT invalidate memoized distances.
-// Every caller sits inside a batch (OrientBatchImpl, RollbackToMark) that
-// invalidates the whole affected downstream region once, instead of running
-// one DFS per marked edge.
-void Wtpg::MarkOriented(TxnId from, TxnId to, OrientJournal* journal) {
-  Edge* e = MutableEdge(from, to);
+void Wtpg::MarkOriented(int32_t from, int32_t to, OrientJournal* journal) {
+  Edge* e = MutableEdgeBySlots(from, to);
   WTPG_CHECK(e != nullptr);
   WTPG_CHECK(!e->oriented);
+  Node& f = slots_[static_cast<size_t>(from)];
+  Node& t = slots_[static_cast<size_t>(to)];
   e->oriented = true;
-  e->from = from;
-  nodes_.at(from).out.push_back(to);
-  Node& t = nodes_.at(to);
+  e->from = f.id;
+  f.out.push_back(to);
   t.in.push_back(from);
-  t.in_w.push_back(from == e->a ? e->weight_ab : e->weight_ba);
-  if (journal != nullptr) journal->records_.push_back({from, to});
+  t.in_w.push_back(f.id == e->a ? e->weight_ab : e->weight_ba);
+  if (journal != nullptr) journal->records_.push_back({f.id, t.id});
 }
 
-void Wtpg::UnmarkOriented(TxnId from, TxnId to) {
-  Edge* e = MutableEdge(from, to);
+void Wtpg::UnmarkOriented(int32_t from, int32_t to) {
+  Edge* e = MutableEdgeBySlots(from, to);
   WTPG_CHECK(e != nullptr);
-  WTPG_CHECK(e->oriented && e->from == from)
-      << "rollback of T" << from << "->T" << to << " out of order";
+  Node& f = slots_[static_cast<size_t>(from)];
+  Node& t = slots_[static_cast<size_t>(to)];
+  WTPG_CHECK(e->oriented && e->from == f.id)
+      << "rollback of T" << f.id << "->T" << t.id << " out of order";
   e->oriented = false;
   e->from = kInvalidTxn;
-  Node& f = nodes_.at(from);
-  Node& t = nodes_.at(to);
   // MarkOriented pushed onto the backs; LIFO rollback pops the backs, which
   // restores the vectors byte-identically. A mismatch means the caller
   // mutated the graph between speculation and rollback — fail loudly.
@@ -142,60 +244,57 @@ void Wtpg::UnmarkOriented(TxnId from, TxnId to) {
   t.in_w.pop_back();
 }
 
-void Wtpg::InvalidateDownstream(TxnId v) {
+void Wtpg::InvalidateDownstream(int32_t v) {
   if (dist_valid_ == 0) return;
-  std::vector<const Node*> affected;
-  MarkReachable(&v, 1, /*reverse=*/false, &affected);
-  for (const Node* d : affected) ClearDist(*d);
+  MarkReachable(&v, 1, /*reverse=*/false, &visited_scratch_);
+  for (int32_t d : visited_scratch_) ClearDist(slots_[static_cast<size_t>(d)]);
 }
 
-uint64_t Wtpg::MarkReachable(const TxnId* starts, size_t count, bool reverse,
-                             std::vector<const Node*>* out) const {
+uint64_t Wtpg::MarkReachable(const int32_t* starts, size_t count, bool reverse,
+                             std::vector<int32_t>* out) const {
   const uint64_t epoch = ++epoch_;
   if (out != nullptr) out->clear();
-  std::vector<const Node*> stack;
-  const auto visit = [&](TxnId id) {
-    const Node& node = nodes_.at(id);
+  dfs_stack_.clear();
+  const auto visit = [&](int32_t slot) {
+    const Node& node = slots_[static_cast<size_t>(slot)];
     uint64_t& mark = reverse ? node.mark_rev : node.mark_fwd;
     if (mark == epoch) return;
     mark = epoch;
-    stack.push_back(&node);
-    if (out != nullptr) out->push_back(&node);
+    dfs_stack_.push_back(slot);
+    if (out != nullptr) out->push_back(slot);
   };
   for (size_t i = 0; i < count; ++i) visit(starts[i]);
-  while (!stack.empty()) {
-    const Node* cur = stack.back();
-    stack.pop_back();
-    const std::vector<TxnId>& adj = reverse ? cur->in : cur->out;
-    for (TxnId nb : adj) visit(nb);
+  while (!dfs_stack_.empty()) {
+    const int32_t cur = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    const Node& node = slots_[static_cast<size_t>(cur)];
+    const std::vector<int32_t>& adj = reverse ? node.in : node.out;
+    for (int32_t nb : adj) visit(nb);
   }
   return epoch;
 }
 
 bool Wtpg::HasPath(TxnId from, TxnId to) const {
   if (from == to) return true;
-  std::unordered_set<TxnId> visited = {from};
-  std::vector<TxnId> stack = {from};
-  while (!stack.empty()) {
-    const TxnId cur = stack.back();
-    stack.pop_back();
-    for (TxnId nb : nodes_.at(cur).out) {
-      if (nb == to) return true;
-      if (visited.insert(nb).second) stack.push_back(nb);
-    }
-  }
-  return false;
+  const int32_t sf = SlotOf(from);
+  const int32_t st = SlotOf(to);
+  const uint64_t epoch = MarkReachable(&sf, 1, /*reverse=*/false, nullptr);
+  return slots_[static_cast<size_t>(st)].mark_fwd == epoch;
 }
 
 bool Wtpg::WouldCycle(TxnId from, const std::vector<TxnId>& targets) const {
   if (targets.empty()) return false;
-  const uint64_t epoch = MarkReachable(&from, 1, /*reverse=*/true, nullptr);
+  const int32_t sf = SlotOf(from);
+  const uint64_t epoch = MarkReachable(&sf, 1, /*reverse=*/true, nullptr);
   for (TxnId u : targets) {
     if (u == from) return true;
-    const Edge* e = FindEdge(from, u);
+    const int32_t su = SlotOf(u);
+    const Edge* e = FindEdgeBySlots(sf, su);
     WTPG_CHECK(e != nullptr) << "WouldCycle: no edge T" << from << "-T" << u;
     if (e->oriented && e->from == u) return true;
-    if (nodes_.at(u).mark_rev == epoch) return true;  // u ~> from.
+    if (slots_[static_cast<size_t>(su)].mark_rev == epoch) {
+      return true;  // u ~> from.
+    }
   }
   return false;
 }
@@ -203,26 +302,31 @@ bool Wtpg::WouldCycle(TxnId from, const std::vector<TxnId>& targets) const {
 bool Wtpg::OrientBatchImpl(TxnId from, const std::vector<TxnId>& targets,
                            OrientJournal* journal) {
   if (targets.empty()) return true;
+  const int32_t sf = SlotOf(from);
   // Every new edge leaves `from`, so any cycle the batch could close must
   // run over a pre-existing path back into `from`: one ancestor DFS checks
   // all targets (this is WouldCycle, inlined to reuse the epoch below).
-  const uint64_t a_epoch = MarkReachable(&from, 1, /*reverse=*/true, nullptr);
+  const uint64_t a_epoch = MarkReachable(&sf, 1, /*reverse=*/true, nullptr);
   for (TxnId u : targets) {
     if (u == from) return false;
-    const Edge* e = FindEdge(from, u);
+    const int32_t su = SlotOf(u);
+    const Edge* e = FindEdgeBySlots(sf, su);
     WTPG_CHECK(e != nullptr) << "OrientBatch: no edge T" << from << "-T" << u;
     if (e->oriented) {
       if (e->from != from) return false;  // Fixed the other way.
       continue;
     }
-    if (nodes_.at(u).mark_rev == a_epoch) return false;  // u ~> from.
+    if (slots_[static_cast<size_t>(su)].mark_rev == a_epoch) {
+      return false;  // u ~> from.
+    }
   }
   // Mark the new precedence edges.
   bool any_new = false;
   for (TxnId u : targets) {
-    const Edge* e = FindEdge(from, u);
+    const int32_t su = SlotOf(u);
+    const Edge* e = FindEdgeBySlots(sf, su);
     if (e->oriented) continue;  // Already from -> u (checked above).
-    MarkOriented(from, u, journal);
+    MarkOriented(sf, su, journal);
     any_new = true;
   }
   if (!any_new) return true;
@@ -234,27 +338,32 @@ bool Wtpg::OrientBatchImpl(TxnId from, const std::vector<TxnId>& targets,
   // edge is newly forced iff one endpoint is in A and the other in D (the
   // connecting path x ~> from ~> y always exists), and (b) marking a forced
   // edge x->y creates no reachability beyond x ~> from ~> y itself, so
-  // forcings cannot cascade outside A x D — one scan over the unoriented
-  // edges is the whole closure. A forced edge cannot conflict either: a
-  // cycle would need its head in A and tail in D simultaneously, i.e. a
-  // node in A ∩ D \ {from}, which is a pre-existing cycle through `from`.
-  std::vector<const Node*> descendants;
+  // forcings cannot cascade outside A x D — walking the unoriented
+  // adjacency of D is the whole closure. A forced edge cannot conflict
+  // either: a cycle would need its head in A and tail in D simultaneously,
+  // i.e. a node in A ∩ D \ {from}, which is a pre-existing cycle through
+  // `from`. (Dense storage walks D's conflict neighbors instead of scanning
+  // the global edge table: every candidate edge has its D endpoint here.)
   const uint64_t d_epoch =
-      MarkReachable(&from, 1, /*reverse=*/false, &descendants);
+      MarkReachable(&sf, 1, /*reverse=*/false, &visited_scratch_);
+  (void)d_epoch;
   // Every node whose longest path can change is downstream of `from` (the
   // head of every new edge is in D): invalidate the region once.
   if (dist_valid_ > 0) {
-    for (const Node* d : descendants) ClearDist(*d);
+    for (int32_t d : visited_scratch_) {
+      ClearDist(slots_[static_cast<size_t>(d)]);
+    }
   }
-  for (auto& [key, edge] : edges_) {
-    (void)key;
-    if (edge.oriented) continue;
-    const Node& na = nodes_.at(edge.a);
-    const Node& nb = nodes_.at(edge.b);
-    if (na.mark_rev == a_epoch && nb.mark_fwd == d_epoch) {
-      MarkOriented(edge.a, edge.b, journal);
-    } else if (nb.mark_rev == a_epoch && na.mark_fwd == d_epoch) {
-      MarkOriented(edge.b, edge.a, journal);
+  for (const int32_t y : visited_scratch_) {
+    const Node& ny = slots_[static_cast<size_t>(y)];
+    // ny.neighbors cannot grow during the closure marks, but iterate by
+    // index for clarity that MarkOriented only touches out/in lists.
+    for (size_t i = 0; i < ny.neighbors.size(); ++i) {
+      const int32_t x = ny.neighbors[i];
+      if (slots_[static_cast<size_t>(x)].mark_rev != a_epoch) continue;
+      const Edge* e = FindEdgeBySlots(x, y);
+      if (e->oriented) continue;
+      MarkOriented(x, y, journal);
     }
   }
   return true;
@@ -277,19 +386,20 @@ void Wtpg::RollbackToMark(OrientJournal* journal, size_t mark) {
     // run while the edges are still present, so it covers the downstream
     // set of every intermediate rollback state — invalidates the region
     // once instead of once per unmark.
-    std::vector<TxnId> heads;
-    heads.reserve(records.size() - mark);
+    heads_scratch_.clear();
     for (size_t i = mark; i < records.size(); ++i) {
-      heads.push_back(records[i].to);
+      heads_scratch_.push_back(SlotOf(records[i].to));
     }
-    std::vector<const Node*> affected;
-    MarkReachable(heads.data(), heads.size(), /*reverse=*/false, &affected);
-    for (const Node* d : affected) ClearDist(*d);
+    MarkReachable(heads_scratch_.data(), heads_scratch_.size(),
+                  /*reverse=*/false, &visited_scratch_);
+    for (int32_t d : visited_scratch_) {
+      ClearDist(slots_[static_cast<size_t>(d)]);
+    }
   }
   while (records.size() > mark) {
     const OrientJournal::Record r = records.back();
     records.pop_back();
-    UnmarkOriented(r.from, r.to);
+    UnmarkOriented(SlotOf(r.from), SlotOf(r.to));
   }
 }
 
@@ -336,11 +446,11 @@ bool Wtpg::CanOrient(TxnId from, TxnId to) {
 }
 
 double Wtpg::CriticalPath() const {
-  if (nodes_.empty()) return 0.0;
+  if (slot_of_.empty()) return 0.0;
   if (reference_speculation_) return CriticalPathUncached();
   double critical = 0.0;
-  for (const auto& [id, node] : nodes_) {
-    (void)id;
+  for (const Node& node : slots_) {
+    if (node.id == kInvalidTxn) continue;
     critical = std::max(critical, EvalDist(node));
   }
   return critical;
@@ -350,14 +460,16 @@ double Wtpg::CriticalPath() const {
 //   dist(v) = max(remaining(v), max over oriented u->v of dist(u) + w(u,v))
 // dist/dist_state only ever hold final values; the transient kDistVisiting
 // state guards against cycles (fail loudly, not forever). The in-weights
-// live in the parallel in_w list, so the DP touches no edge map.
+// live in the parallel in_w list, so the DP touches no edge table.
 double Wtpg::EvalDist(const Node& node) const {
   if (node.dist_state == kDistValid) return node.dist;
   WTPG_CHECK(node.dist_state != kDistVisiting) << "cycle in oriented WTPG";
   node.dist_state = kDistVisiting;
   double best = node.remaining;
   for (size_t i = 0; i < node.in.size(); ++i) {
-    best = std::max(best, EvalDist(nodes_.at(node.in[i])) + node.in_w[i]);
+    best = std::max(
+        best,
+        EvalDist(slots_[static_cast<size_t>(node.in[i])]) + node.in_w[i]);
   }
   node.dist = best;
   node.dist_state = kDistValid;
@@ -366,137 +478,181 @@ double Wtpg::EvalDist(const Node& node) const {
 }
 
 double Wtpg::CriticalPathUncached() const {
-  if (nodes_.empty()) return 0.0;
-  std::unordered_map<TxnId, double> dist;
-  std::function<double(TxnId)> eval = [&](TxnId v) -> double {
-    auto it = dist.find(v);
-    if (it != dist.end()) {
-      WTPG_CHECK_GE(it->second, 0.0) << "cycle in oriented WTPG";
-      return it->second;
-    }
-    // Negative marker guards against cycles (fail loudly, not forever).
-    dist.emplace(v, -1.0);
-    const Node& node = nodes_.at(v);
+  if (slot_of_.empty()) return 0.0;
+  // Fresh DP per call over slot-indexed scratch (reference mode only).
+  std::vector<double> dist(slots_.size(), 0.0);
+  std::vector<uint8_t> state(slots_.size(), kDistInvalid);
+  std::function<double(int32_t)> eval = [&](int32_t v) -> double {
+    const size_t vi = static_cast<size_t>(v);
+    if (state[vi] == kDistValid) return dist[vi];
+    // Visiting marker guards against cycles (fail loudly, not forever).
+    WTPG_CHECK(state[vi] != kDistVisiting) << "cycle in oriented WTPG";
+    state[vi] = kDistVisiting;
+    const Node& node = slots_[vi];
     double best = node.remaining;
-    for (TxnId nb : node.in) {
-      const Edge* e = FindEdge(nb, v);
-      const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
-      best = std::max(best, eval(nb) + w);
+    for (size_t i = 0; i < node.in.size(); ++i) {
+      best = std::max(
+          best, eval(node.in[i]) + node.in_w[i]);
     }
-    dist[v] = best;
+    dist[vi] = best;
+    state[vi] = kDistValid;
     return best;
   };
   double critical = 0.0;
-  for (const auto& [id, node] : nodes_) {
-    (void)node;
-    critical = std::max(critical, eval(id));
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].id == kInvalidTxn) continue;
+    critical = std::max(critical, eval(static_cast<int32_t>(s)));
   }
   return critical;
 }
 
 std::vector<TxnId> Wtpg::Nodes() const {
   std::vector<TxnId> result;
-  result.reserve(nodes_.size());
-  for (const auto& [id, node] : nodes_) {
-    (void)node;
-    result.push_back(id);
+  result.reserve(slot_of_.size());
+  for (const Node& node : slots_) {
+    if (node.id != kInvalidTxn) result.push_back(node.id);
   }
-  std::sort(result.begin(), result.end());  // nodes_ is hashed, not ordered.
+  std::sort(result.begin(), result.end());  // Slot order is not id order.
   return result;
 }
 
 std::vector<TxnId> Wtpg::Neighbors(TxnId id) const {
-  auto it = nodes_.find(id);
-  WTPG_CHECK(it != nodes_.end());
-  return it->second.neighbors;
-}
-
-const std::vector<TxnId>& Wtpg::OutNeighbors(TxnId id) const {
-  auto it = nodes_.find(id);
-  WTPG_CHECK(it != nodes_.end());
-  return it->second.out;
-}
-
-const std::vector<TxnId>& Wtpg::InNeighbors(TxnId id) const {
-  auto it = nodes_.find(id);
-  WTPG_CHECK(it != nodes_.end());
-  return it->second.in;
-}
-
-std::vector<std::pair<TxnId, TxnId>> Wtpg::UnorientedEdges() const {
-  std::vector<std::pair<TxnId, TxnId>> result;
-  for (const auto& [key, edge] : edges_) {
-    if (!edge.oriented) result.push_back(key);
+  const Node& node = slots_[static_cast<size_t>(SlotOf(id))];
+  std::vector<TxnId> result;
+  result.reserve(node.neighbors.size());
+  for (int32_t nb : node.neighbors) {
+    result.push_back(slots_[static_cast<size_t>(nb)].id);
   }
   return result;
 }
 
+std::vector<TxnId> Wtpg::OutNeighbors(TxnId id) const {
+  const Node& node = slots_[static_cast<size_t>(SlotOf(id))];
+  std::vector<TxnId> result;
+  result.reserve(node.out.size());
+  for (int32_t nb : node.out) {
+    result.push_back(slots_[static_cast<size_t>(nb)].id);
+  }
+  return result;
+}
+
+std::vector<TxnId> Wtpg::InNeighbors(TxnId id) const {
+  const Node& node = slots_[static_cast<size_t>(SlotOf(id))];
+  std::vector<TxnId> result;
+  result.reserve(node.in.size());
+  for (int32_t nb : node.in) {
+    result.push_back(slots_[static_cast<size_t>(nb)].id);
+  }
+  return result;
+}
+
+std::vector<std::pair<TxnId, TxnId>> Wtpg::UnorientedEdges() const {
+  std::vector<std::pair<TxnId, TxnId>> result;
+  for (const EdgeBucket& bucket : edge_buckets_) {
+    if (bucket.key == kEmptyEdgeKey || bucket.edge.oriented) continue;
+    result.emplace_back(bucket.edge.a, bucket.edge.b);
+  }
+  // The table iterates in hash order; keep the historical sorted contract.
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
 bool Wtpg::CheckInvariants() const {
-  for (const auto& [key, edge] : edges_) {
+  // Slot map <-> slab bijection and free-list integrity.
+  size_t live = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].id == kInvalidTxn) continue;
+    ++live;
+    auto it = slot_of_.find(slots_[s].id);
+    if (it == slot_of_.end() || it->second != static_cast<int32_t>(s)) {
+      return false;
+    }
+  }
+  if (live != slot_of_.size()) return false;
+  size_t free_count = 0;
+  for (int32_t f = free_head_; f >= 0;
+       f = slots_[static_cast<size_t>(f)].next_free) {
+    if (static_cast<size_t>(f) >= slots_.size()) return false;
+    if (slots_[static_cast<size_t>(f)].id != kInvalidTxn) return false;
+    if (++free_count > slots_.size()) return false;  // Cycle in free list.
+  }
+  if (live + free_count != slots_.size()) return false;
+  // Edge table: keys match live endpoints; normalization holds.
+  size_t edge_count = 0;
+  for (const EdgeBucket& bucket : edge_buckets_) {
+    if (bucket.key == kEmptyEdgeKey) continue;
+    ++edge_count;
+    const Edge& edge = bucket.edge;
     if (!HasNode(edge.a) || !HasNode(edge.b)) return false;
-    if (key != MakeKey(edge.a, edge.b)) return false;
+    if (edge.a >= edge.b) return false;
+    if (bucket.key != PackSlots(SlotOf(edge.a), SlotOf(edge.b))) return false;
     if (edge.oriented && edge.from != edge.a && edge.from != edge.b) {
       return false;
     }
   }
+  if (edge_count != num_edges_) return false;
   // Adjacency lists consistent with edge states; in_w parallel to in and
   // carrying the oriented direction's weight.
-  for (const auto& [id, node] : nodes_) {
-    for (TxnId nb : node.out) {
-      if (!IsOriented(id, nb)) return false;
+  for (const Node& node : slots_) {
+    if (node.id == kInvalidTxn) continue;
+    const TxnId id = node.id;
+    for (int32_t nb : node.out) {
+      if (!IsOriented(id, slots_[static_cast<size_t>(nb)].id)) return false;
     }
     if (node.in_w.size() != node.in.size()) return false;
     for (size_t i = 0; i < node.in.size(); ++i) {
-      const TxnId nb = node.in[i];
+      const TxnId nb = slots_[static_cast<size_t>(node.in[i])].id;
       if (!IsOriented(nb, id)) return false;
       const Edge* e = FindEdge(nb, id);
       const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
       if (node.in_w[i] != w) return false;
     }
     size_t oriented_count = 0;
-    for (TxnId nb : node.neighbors) {
-      const Edge* e = FindEdge(id, nb);
+    for (int32_t nb : node.neighbors) {
+      const Edge* e = FindEdgeBySlots(SlotOf(id), nb);
       if (e == nullptr) return false;
       if (e->oriented) ++oriented_count;
     }
     if (oriented_count != node.out.size() + node.in.size()) return false;
   }
   // Oriented subgraph must be acyclic.
-  for (const auto& [key, edge] : edges_) {
-    (void)key;
-    if (!edge.oriented) continue;
+  for (const EdgeBucket& bucket : edge_buckets_) {
+    if (bucket.key == kEmptyEdgeKey || !bucket.edge.oriented) continue;
+    const Edge& edge = bucket.edge;
     const TxnId to = (edge.from == edge.a) ? edge.b : edge.a;
     if (HasPath(to, edge.from)) return false;
   }
   // Closure fully applied: no unoriented edge with a connecting path.
-  for (const auto& [key, edge] : edges_) {
-    (void)key;
-    if (edge.oriented) continue;
+  for (const EdgeBucket& bucket : edge_buckets_) {
+    if (bucket.key == kEmptyEdgeKey || bucket.edge.oriented) continue;
+    const Edge& edge = bucket.edge;
     if (HasPath(edge.a, edge.b) || HasPath(edge.b, edge.a)) return false;
   }
   // Every memoized distance must match a fresh DP (stale memo entries are
   // exactly the bug class the journal can cause), no node may be stuck in
   // the transient visiting state, and the valid count must agree.
-  std::unordered_map<TxnId, double> fresh;
-  std::function<double(TxnId)> eval = [&](TxnId v) -> double {
-    auto it = fresh.find(v);
-    if (it != fresh.end()) return it->second;
-    const Node& node = nodes_.at(v);
+  std::vector<double> fresh(slots_.size(), 0.0);
+  std::vector<uint8_t> state(slots_.size(), kDistInvalid);
+  std::function<double(int32_t)> eval = [&](int32_t v) -> double {
+    const size_t vi = static_cast<size_t>(v);
+    if (state[vi] == kDistValid) return fresh[vi];
+    state[vi] = kDistValid;  // Acyclicity already verified above.
+    const Node& node = slots_[vi];
     double best = node.remaining;
-    for (TxnId nb : node.in) {
-      const Edge* e = FindEdge(nb, v);
-      const double w = (e->from == e->a) ? e->weight_ab : e->weight_ba;
-      best = std::max(best, eval(nb) + w);
+    for (size_t i = 0; i < node.in.size(); ++i) {
+      best = std::max(best, eval(node.in[i]) + node.in_w[i]);
     }
-    fresh.emplace(v, best);
+    fresh[vi] = best;
     return best;
   };
   size_t valid = 0;
-  for (const auto& [id, node] : nodes_) {
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const Node& node = slots_[s];
+    if (node.id == kInvalidTxn) continue;
     if (node.dist_state == kDistVisiting) return false;
     if (node.dist_state == kDistValid) {
       ++valid;
-      if (eval(id) != node.dist) return false;
+      if (eval(static_cast<int32_t>(s)) != node.dist) return false;
     }
   }
   if (valid != dist_valid_) return false;

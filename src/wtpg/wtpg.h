@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -56,12 +55,17 @@ inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
 // it from scratch. Reachability queries stamp epoch marks on the nodes
 // instead of building per-call visited sets, and the DP reads precedence
 // weights from a parallel in-weight list — the hot path performs no
-// per-edge map lookups and no per-call allocations beyond a DFS stack.
-// The marks, distances and epoch counter are mutable scratch: Wtpg is
+// per-edge map lookups and no per-call allocations beyond reused scratch.
+// The marks, distances, epoch counter and scratch are mutable: Wtpg is
 // single-threaded by design (the simulator is sequential).
 //
-// Saturated C2PL runs grow this graph to hundreds of nodes, so the
-// reachability paths keep dedicated oriented adjacency lists.
+// Storage is dense: a TxnId maps (once, at the API boundary) to a slot in a
+// contiguous node slab recycled through a free list, every internal walk —
+// adjacency, reachability DFS, longest-path DP, orientation closure — runs
+// on 32-bit slot indices over contiguous memory, and edges live in an
+// open-addressed table keyed by the packed 64-bit slot pair. Saturated C2PL
+// runs grow this graph to hundreds of nodes, so the reachability paths keep
+// dedicated oriented adjacency lists.
 class Wtpg {
  public:
   struct Edge {
@@ -116,9 +120,9 @@ class Wtpg {
   // Removes a node (at commit) and all its edges.
   void RemoveNode(TxnId id);
 
-  bool HasNode(TxnId id) const { return nodes_.count(id) > 0; }
-  size_t num_nodes() const { return nodes_.size(); }
-  size_t num_edges() const { return edges_.size(); }
+  bool HasNode(TxnId id) const { return slot_of_.count(id) > 0; }
+  size_t num_nodes() const { return slot_of_.size(); }
+  size_t num_edges() const { return num_edges_; }
 
   // --- Weights ---
 
@@ -127,7 +131,9 @@ class Wtpg {
 
   // --- Edges & orientation ---
 
-  // Returns the edge between a and b, or nullptr.
+  // Returns the edge between a and b, or nullptr. The pointer is valid only
+  // until the next mutation (the edge table may rehash or shift on
+  // insert/erase).
   const Edge* FindEdge(TxnId a, TxnId b) const;
 
   // True if the pair's edge exists and is oriented from -> to.
@@ -194,15 +200,16 @@ class Wtpg {
 
   // Oriented adjacency of `id` in orientation order (id -> other and
   // other -> id respectively). Exposed for tests and state diffing.
-  const std::vector<TxnId>& OutNeighbors(TxnId id) const;
-  const std::vector<TxnId>& InNeighbors(TxnId id) const;
+  std::vector<TxnId> OutNeighbors(TxnId id) const;
+  std::vector<TxnId> InNeighbors(TxnId id) const;
 
-  // Unoriented conflict edges only, as (a, b) pairs with a < b.
+  // Unoriented conflict edges only, as (a, b) pairs with a < b, sorted.
   std::vector<std::pair<TxnId, TxnId>> UnorientedEdges() const;
 
   // Verifies internal invariants (edges reference live nodes; adjacency
   // lists consistent; oriented subgraph acyclic; closure fully applied;
-  // memoized distances match a fresh recomputation). For tests.
+  // memoized distances match a fresh recomputation; slot map, free list and
+  // edge table self-consistent). For tests.
   bool CheckInvariants() const;
 
  private:
@@ -211,11 +218,13 @@ class Wtpg {
   enum : uint8_t { kDistInvalid = 0, kDistValid = 1, kDistVisiting = 2 };
 
   struct Node {
+    TxnId id = kInvalidTxn;  // kInvalidTxn marks a free slot.
     double remaining = 0.0;
-    std::vector<TxnId> neighbors;  // Any edge.
-    std::vector<TxnId> out;        // Oriented this -> other.
-    std::vector<TxnId> in;         // Oriented other -> this.
-    std::vector<double> in_w;      // Parallel to `in`: w(other -> this).
+    std::vector<int32_t> neighbors;  // Any edge.
+    std::vector<int32_t> out;        // Oriented this -> other.
+    std::vector<int32_t> in;         // Oriented other -> this.
+    std::vector<double> in_w;        // Parallel to `in`: w(other -> this).
+    int32_t next_free = -1;          // Free-list link while the slot is free.
     // Scratch for the epoch-stamped reachability DFS (forward / reverse
     // slots so an ancestor set and a descendant set can coexist) and the
     // memoized longest-path distance. Mutable: queries are logically const.
@@ -224,23 +233,50 @@ class Wtpg {
     mutable double dist = 0.0;
     mutable uint8_t dist_state = kDistInvalid;
   };
-  using EdgeKey = std::pair<TxnId, TxnId>;  // Normalized (min, max).
 
-  static EdgeKey MakeKey(TxnId a, TxnId b) {
-    return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+  // One bucket of the open-addressed edge table (linear probing, power-of-
+  // two capacity, backward-shift deletion). The key packs the edge's two
+  // node slots, smaller slot in the high half; kEmptyEdgeKey marks a free
+  // bucket (unreachable for real keys: slots are < 2^31).
+  struct EdgeBucket {
+    uint64_t key = kEmptyEdgeKey;
+    Edge edge;
+  };
+  static constexpr uint64_t kEmptyEdgeKey = ~0ull;
+
+  static uint64_t PackSlots(int32_t sa, int32_t sb) {
+    const uint32_t lo = static_cast<uint32_t>(sa < sb ? sa : sb);
+    const uint32_t hi = static_cast<uint32_t>(sa < sb ? sb : sa);
+    return (static_cast<uint64_t>(lo) << 32) | hi;
   }
 
-  Edge* MutableEdge(TxnId a, TxnId b);
+  size_t BucketFor(uint64_t key) const {
+    return (key * 0x9E3779B97F4A7C15ull) & (edge_buckets_.size() - 1);
+  }
 
-  // Marks the edge oriented, updates adjacency, invalidates memoized
-  // distances downstream of `to`, and (if non-null) records the mark into
-  // *journal. The edge must be unoriented.
-  void MarkOriented(TxnId from, TxnId to, OrientJournal* journal);
+  // Slot of `id`; CHECK-fails when absent.
+  int32_t SlotOf(TxnId id) const;
+  // Slot of `id`, or -1 when absent.
+  int32_t SlotOrNull(TxnId id) const;
+
+  const Edge* FindEdgeBySlots(int32_t sa, int32_t sb) const;
+  Edge* MutableEdgeBySlots(int32_t sa, int32_t sb);
+  // Inserts an (empty) edge for the slot pair; CHECK-fails on duplicates.
+  Edge* InsertEdge(int32_t sa, int32_t sb);
+  void EraseEdge(int32_t sa, int32_t sb);
+  void GrowEdgeTable();
+
+  // Marks the edge oriented, updates adjacency, and (if non-null) records
+  // the mark into *journal. The edge must be unoriented. Does NOT
+  // invalidate memoized distances: every caller sits inside a batch
+  // (OrientBatchImpl, RollbackToMark) that invalidates the whole affected
+  // downstream region once.
+  void MarkOriented(int32_t from, int32_t to, OrientJournal* journal);
 
   // Exact inverse of MarkOriented. CHECKs that the adjacency pushes are
   // still the most recent ones (LIFO rollback contract), which also makes
   // the restoration byte-identical (vector order preserved).
-  void UnmarkOriented(TxnId from, TxnId to);
+  void UnmarkOriented(int32_t from, int32_t to);
 
   // Shared implementation of the batch orientation + forced closure. On
   // failure the graph is left partially oriented; all marks were appended
@@ -252,16 +288,17 @@ class Wtpg {
   void RollbackToMark(OrientJournal* journal, size_t mark);
 
   // Stamps a fresh epoch on every node reachable from the `count` start
-  // nodes over oriented edges (descendants; ancestors when `reverse`),
+  // slots over oriented edges (descendants; ancestors when `reverse`),
   // including the starts, and returns that epoch. Membership is
   // node.mark_fwd == epoch (mark_rev when `reverse`). When `out` is
-  // non-null it is cleared and filled with the visited nodes.
-  uint64_t MarkReachable(const TxnId* starts, size_t count, bool reverse,
-                         std::vector<const Node*>* out) const;
+  // non-null it is cleared and filled with the visited slots in discovery
+  // order.
+  uint64_t MarkReachable(const int32_t* starts, size_t count, bool reverse,
+                         std::vector<int32_t>* out) const;
 
-  // Invalidates the memoized distance of every oriented descendant of `v`
-  // (including `v`). Call while `v` and the relevant edges still exist.
-  void InvalidateDownstream(TxnId v);
+  // Invalidates the memoized distance of every oriented descendant of slot
+  // `v` (including `v`). Call while the relevant edges still exist.
+  void InvalidateDownstream(int32_t v);
 
   // Drops one node's memoized distance, keeping dist_valid_ in step.
   void ClearDist(const Node& node) const {
@@ -276,13 +313,25 @@ class Wtpg {
   // reference mode and by CheckInvariants to validate the memo.
   double CriticalPathUncached() const;
 
-  std::unordered_map<TxnId, Node> nodes_;
-  std::map<EdgeKey, Edge> edges_;
+  // Dense node slab: live slots hold id != kInvalidTxn, free slots chain
+  // through next_free. Recycled slots keep their vectors' capacity, so a
+  // warmed graph adds and removes nodes without touching the heap.
+  std::vector<Node> slots_;
+  int32_t free_head_ = -1;
+  // The only id-keyed lookup; every internal walk uses slots.
+  std::unordered_map<TxnId, int32_t> slot_of_;
+  std::vector<EdgeBucket> edge_buckets_;  // Power-of-two sized; may be empty.
+  size_t num_edges_ = 0;
   bool reference_speculation_ = false;
   // Epoch source for MarkReachable and count of nodes whose memoized
   // distance is currently valid (fast empty test for invalidation).
   mutable uint64_t epoch_ = 0;
   mutable size_t dist_valid_ = 0;
+  // Reused scratch (never live across a public call): the DFS stack, the
+  // visited list handed to MarkReachable, and rollback's head collection.
+  mutable std::vector<int32_t> dfs_stack_;
+  mutable std::vector<int32_t> visited_scratch_;
+  mutable std::vector<int32_t> heads_scratch_;
 };
 
 // Hypothetical grant evaluation used by LOW's E(q) (paper Fig. 5) and by

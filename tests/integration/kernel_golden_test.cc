@@ -1,0 +1,108 @@
+// Kernel-invariance suite: the simulator core (event queue, WTPG storage,
+// lock table) is an implementation detail — rewriting it must not move a
+// single byte of simulation output. These goldens were captured before the
+// allocation-free kernel rewrite (pooled events, indexed d-ary heap, dense
+// WTPG and lock-table storage) and pin RunAggregate JSON for every
+// scheduler under a zero-fault and a fault-churn configuration, at jobs=1
+// and jobs=8.
+//
+// Regenerate (only when an *intentional* behavior change lands) with:
+//   WTPG_UPDATE_GOLDENS=1 ./kernel_invariance_test
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/sim_run.h"
+#include "machine/config.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+namespace {
+
+constexpr const char* kGoldenFile = "golden_kernel_invariance.tsv";
+
+const std::vector<std::string>& SchedulerFlags() {
+  static const std::vector<std::string> flags = {
+      "nodc", "asl", "c2pl", "opt", "gow", "low", "low-lb", "2pl"};
+  return flags;
+}
+
+SimConfig BaseConfig(const std::string& flag) {
+  SimConfig c;
+  EXPECT_TRUE(ParseSchedulerKind(flag, &c.scheduler)) << flag;
+  c.workload.arrival_rate_tps = 1.0;
+  c.workload.max_arrivals = 60;
+  c.run.horizon_ms = 300'000;
+  return c;
+}
+
+// Node churn heavy enough that every fault path fires (crashes, stragglers,
+// injected aborts) while staying cheap to simulate.
+SimConfig FaultyConfig(const std::string& flag) {
+  SimConfig c = BaseConfig(flag);
+  c.fault.dpn_mttf_ms = 150'000;
+  c.fault.straggler_mtbf_ms = 200'000;
+  c.fault.abort_rate_per_s = 0.02;
+  return c;
+}
+
+std::string GoldenPath() {
+  return std::string(WTPG_TEST_DATA_DIR) + "/" + kGoldenFile;
+}
+
+// "<flag>\t<zero|fault>" -> aggregate JSON at jobs=1 (jobs invariance is
+// asserted separately so a diff names the offending dimension).
+std::string RunCase(const std::string& flag, bool faulty, int jobs) {
+  const SimConfig c = faulty ? FaultyConfig(flag) : BaseConfig(flag);
+  return RunAggregate(c, Pattern::Experiment1(c.machine.num_files),
+                      /*num_seeds=*/2, jobs)
+      .ToJson();
+}
+
+TEST(KernelInvarianceTest, AggregateJsonByteIdenticalToGoldens) {
+  if (std::getenv("WTPG_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.is_open()) << GoldenPath();
+    for (const std::string& flag : SchedulerFlags()) {
+      out << flag << "\tzero\t" << RunCase(flag, /*faulty=*/false, 1) << "\n";
+      out << flag << "\tfault\t" << RunCase(flag, /*faulty=*/true, 1) << "\n";
+    }
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "goldens regenerated at " << GoldenPath();
+  }
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.is_open()) << "missing golden " << GoldenPath();
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string flag, kind, expected;
+    ASSERT_TRUE(std::getline(row, flag, '\t'));
+    ASSERT_TRUE(std::getline(row, kind, '\t'));
+    ASSERT_TRUE(std::getline(row, expected));
+    const bool faulty = kind == "fault";
+    EXPECT_EQ(RunCase(flag, faulty, /*jobs=*/1), expected)
+        << "scheduler " << flag << " (" << kind << ")";
+    ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<int>(SchedulerFlags().size()) * 2);
+}
+
+TEST(KernelInvarianceTest, AggregateJsonJobsInvariant) {
+  for (const std::string& flag : SchedulerFlags()) {
+    for (const bool faulty : {false, true}) {
+      EXPECT_EQ(RunCase(flag, faulty, /*jobs=*/1),
+                RunCase(flag, faulty, /*jobs=*/8))
+          << "scheduler " << flag << (faulty ? " (fault)" : " (zero)");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wtpgsched

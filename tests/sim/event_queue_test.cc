@@ -78,18 +78,17 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(EventQueueTest, CompactsWhenTombstonesOutnumberHalfTheLiveEntries) {
+TEST(EventQueueTest, CancelRemovesInPlaceNoTombstones) {
+  // The indexed heap removes cancelled entries immediately: heap_entries()
+  // equals size() at every step, in any cancellation order. (The former
+  // tombstone implementation only guaranteed this after compaction sweeps.)
   EventQueue q;
   std::vector<EventQueue::EventId> ids;
   for (int i = 0; i < 100; ++i) ids.push_back(q.Schedule(i, [] {}));
   EXPECT_EQ(q.heap_entries(), 100u);
-  // Cancel from the back so no tombstone reaches the top of the heap (lazy
-  // skipping never triggers): the heap would grow tombstone-bound without
-  // compaction. Tombstones may exceed half the live count only transiently.
   for (int i = 99; i >= 1; --i) {
     q.Cancel(ids[static_cast<size_t>(i)]);
-    EXPECT_LE(q.heap_entries() - q.size(), q.size() / 2 + 1)
-        << "tombstones must be compacted away";
+    EXPECT_EQ(q.heap_entries(), q.size());
   }
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.heap_entries(), 1u);
@@ -98,7 +97,7 @@ TEST(EventQueueTest, CompactsWhenTombstonesOutnumberHalfTheLiveEntries) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueueTest, CompactionPreservesOrderAndFifo) {
+TEST(EventQueueTest, InteriorCancelPreservesOrderAndFifo) {
   EventQueue q;
   std::vector<int> fired;
   std::vector<EventQueue::EventId> doomed;
@@ -107,7 +106,7 @@ TEST(EventQueueTest, CompactionPreservesOrderAndFifo) {
     doomed.push_back(q.Schedule(50 + i, [] {}));
   }
   q.Schedule(1, [&fired] { fired.push_back(-1); });
-  for (EventQueue::EventId id : doomed) q.Cancel(id);  // Forces compaction.
+  for (EventQueue::EventId id : doomed) q.Cancel(id);
   while (!q.empty()) q.Pop().callback();
   EXPECT_EQ(fired, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7}));
 }
@@ -118,11 +117,33 @@ TEST(EventQueueTest, CancelAllThenReuse) {
   for (int i = 0; i < 10; ++i) ids.push_back(q.Schedule(i, [] {}));
   for (EventQueue::EventId id : ids) q.Cancel(id);
   EXPECT_TRUE(q.empty());
-  EXPECT_EQ(q.heap_entries(), 0u);  // Fully compacted.
+  EXPECT_EQ(q.heap_entries(), 0u);
   bool fired = false;
   q.Schedule(3, [&] { fired = true; });
   q.Pop().callback();
   EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, StaleIdNeverCancelsARecycledSlot) {
+  // Slab slots are recycled through a free list, but ids carry the slot's
+  // generation: a handle to a dead event must not reach whatever event now
+  // occupies its slot.
+  EventQueue q;
+  const EventQueue::EventId dead = q.Schedule(10, [] {});
+  ASSERT_TRUE(q.Cancel(dead));
+  bool fired = false;
+  q.Schedule(20, [&] { fired = true; });  // Reuses the freed slot.
+  EXPECT_FALSE(q.Cancel(dead)) << "stale id hit the recycled slot";
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop().callback();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, PoppedIdCannotBeCancelled) {
+  EventQueue q;
+  const EventQueue::EventId id = q.Schedule(10, [] {});
+  q.Pop();
+  EXPECT_FALSE(q.Cancel(id));
 }
 
 }  // namespace
