@@ -119,4 +119,34 @@ MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
                  options.jobs);
 }
 
+std::vector<OpenWorldRun> RunOpenWorld(const OpenWorldSpec& spec,
+                                       double arrival_rate_tps, int batch_mpl,
+                                       bool sketch,
+                                       const BenchOptions& options) {
+  // The mix carries the Zipf skew already; recording the theta in the config
+  // is redundant but keeps the reproducibility artifact self-describing
+  // (Machine's WithZipf overlay with the same theta is idempotent).
+  const std::vector<WeightedPattern> mix = MakeOpenWorldMix(spec);
+  std::vector<SimConfig> bases;
+  for (SchedulerKind kind : PaperSchedulers()) {
+    SimConfig config =
+        MakeConfig(kind, spec.num_files, /*dd=*/1, arrival_rate_tps);
+    config.workload.zipf_theta = spec.zipf_theta;
+    config.machine.batch_mpl = batch_mpl;
+    config.run.tail_metrics = true;
+    config.run.tail_sketch = sketch;
+    config.run.horizon_ms = options.horizon_ms;
+    bases.push_back(config);
+  }
+  const std::vector<AggregateResult> results =
+      RunAggregates(bases, mix, options.seeds, options.jobs);
+  std::vector<OpenWorldRun> runs;
+  runs.reserve(results.size());
+  const std::vector<SchedulerKind> kinds = PaperSchedulers();
+  for (size_t i = 0; i < results.size(); ++i) {
+    runs.push_back(OpenWorldRun{kinds[i], results[i]});
+  }
+  return runs;
+}
+
 }  // namespace wtpgsched

@@ -7,6 +7,7 @@
 #include "driver/sim_run.h"
 #include "driver/sweep.h"
 #include "machine/config.h"
+#include "workload/openworld.h"
 #include "workload/pattern.h"
 
 namespace wtpgsched {
@@ -78,6 +79,20 @@ AggregateResult RunAtRate(SchedulerKind kind, int num_files, int dd,
 MplChoice RunC2plMAtRate(int num_files, int dd, double arrival_rate_tps,
                          const Pattern& pattern, const BenchOptions& options,
                          double error_sigma = 0.0);
+
+// Open-world production tier (workload/openworld.h): the two-class Zipf mix
+// at a fixed arrival rate for every paper scheduler, with tail metrics on
+// (sketch mode selectable) and batch admission control when batch_mpl > 0.
+// One RunAggregates batch — all scheduler x seed replicas fan out together.
+// Results are in PaperSchedulers() order.
+struct OpenWorldRun {
+  SchedulerKind kind = SchedulerKind::kLow;
+  AggregateResult result;
+};
+std::vector<OpenWorldRun> RunOpenWorld(const OpenWorldSpec& spec,
+                                       double arrival_rate_tps, int batch_mpl,
+                                       bool sketch,
+                                       const BenchOptions& options);
 
 }  // namespace wtpgsched
 

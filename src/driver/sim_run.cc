@@ -1,6 +1,7 @@
 #include "driver/sim_run.h"
 
 #include <cstdlib>
+#include <map>
 
 #include "machine/machine.h"
 #include "metrics/counters.h"
@@ -19,6 +20,13 @@ AggregateResult Reduce(const std::vector<RunStats>& replicas) {
   AggregateResult agg;
   agg.num_seeds = static_cast<int>(replicas.size());
   CounterRegistry merged;
+  // Per-class accumulation: std::map keeps classes in ascending index order
+  // regardless of which replicas reported which classes.
+  struct ClassAcc {
+    AggregateResult::ClassAgg sums;
+    int present = 0;  // Replicas with >= 1 completion of this class.
+  };
+  std::map<int, ClassAcc> classes;
   for (const RunStats& stats : replicas) {
     agg.mean_response_s += stats.mean_response_s;
     agg.throughput_tps += stats.throughput_tps;
@@ -29,6 +37,19 @@ AggregateResult Reduce(const std::vector<RunStats>& replicas) {
     agg.start_rejections += static_cast<double>(stats.start_rejections);
     agg.cn_utilization += stats.cn_utilization;
     agg.mean_dpn_utilization += stats.mean_dpn_utilization;
+    agg.tail_metrics = agg.tail_metrics || stats.tail_metrics;
+    agg.p50_response_s += stats.median_response_s;
+    agg.p95_response_s += stats.p95_response_s;
+    agg.p99_response_s += stats.p99_response_s;
+    for (const RunStats::ClassStats& cs : stats.per_class) {
+      ClassAcc& acc = classes[cs.workload_class];
+      acc.sums.completions += static_cast<double>(cs.completions);
+      acc.sums.mean_response_s += cs.mean_response_s;
+      acc.sums.p50_response_s += cs.median_response_s;
+      acc.sums.p95_response_s += cs.p95_response_s;
+      acc.sums.p99_response_s += cs.p99_response_s;
+      acc.present += 1;
+    }
     merged.Merge(stats.counters);
   }
   const double n = static_cast<double>(replicas.size());
@@ -41,14 +62,73 @@ AggregateResult Reduce(const std::vector<RunStats>& replicas) {
   agg.start_rejections /= n;
   agg.cn_utilization /= n;
   agg.mean_dpn_utilization /= n;
+  agg.p50_response_s /= n;
+  agg.p95_response_s /= n;
+  agg.p99_response_s /= n;
+  for (auto& [workload_class, acc] : classes) {
+    AggregateResult::ClassAgg out = acc.sums;
+    out.workload_class = workload_class;
+    out.completions /= n;
+    const double present = static_cast<double>(acc.present);
+    out.mean_response_s /= present;
+    out.p50_response_s /= present;
+    out.p95_response_s /= present;
+    out.p99_response_s /= present;
+    agg.per_class.push_back(out);
+  }
   agg.counters = merged.Entries();
   return agg;
+}
+
+// RunReplicas / RunAggregates over either workload spelling (single pattern
+// or weighted mix), parameterized on the per-replica machine builder.
+template <typename Workload>
+std::vector<RunStats> RunReplicasImpl(const std::vector<SimConfig>& configs,
+                                      const Workload& workload, int jobs) {
+  std::vector<RunStats> results(configs.size());
+  const int workers = ResolveJobs(jobs);
+  ParallelFor(workers, configs.size(), [&](size_t i) {
+    Machine machine(configs[i], workload);
+    results[i] = machine.Run();
+  });
+  return results;
+}
+
+template <typename Workload>
+std::vector<AggregateResult> RunAggregatesImpl(
+    const std::vector<SimConfig>& bases, const Workload& workload,
+    int num_seeds, int jobs) {
+  WTPG_CHECK_GE(num_seeds, 1);
+  std::vector<SimConfig> replicas;
+  replicas.reserve(bases.size() * static_cast<size_t>(num_seeds));
+  for (const SimConfig& base : bases) {
+    for (int i = 0; i < num_seeds; ++i) {
+      SimConfig config = base;
+      config.run.seed = base.run.seed + static_cast<uint64_t>(i);
+      replicas.push_back(config);
+    }
+  }
+  const std::vector<RunStats> stats =
+      RunReplicasImpl(replicas, workload, jobs);
+  std::vector<AggregateResult> results;
+  results.reserve(bases.size());
+  for (size_t b = 0; b < bases.size(); ++b) {
+    const auto first = stats.begin() + static_cast<ptrdiff_t>(b) * num_seeds;
+    results.push_back(Reduce({first, first + num_seeds}));
+  }
+  return results;
 }
 
 }  // namespace
 
 RunStats RunSimulation(const SimConfig& config, const Pattern& pattern) {
   Machine machine(config, pattern);
+  return machine.Run();
+}
+
+RunStats RunSimulation(const SimConfig& config,
+                       const std::vector<WeightedPattern>& mix) {
+  Machine machine(config, mix);
   return machine.Run();
 }
 
@@ -73,12 +153,13 @@ int ResolveJobs(int jobs) { return jobs >= 1 ? jobs : DefaultJobs(); }
 
 std::vector<RunStats> RunReplicas(const std::vector<SimConfig>& configs,
                                   const Pattern& pattern, int jobs) {
-  std::vector<RunStats> results(configs.size());
-  const int workers = ResolveJobs(jobs);
-  ParallelFor(workers, configs.size(), [&](size_t i) {
-    results[i] = RunSimulation(configs[i], pattern);
-  });
-  return results;
+  return RunReplicasImpl(configs, pattern, jobs);
+}
+
+std::vector<RunStats> RunReplicas(const std::vector<SimConfig>& configs,
+                                  const std::vector<WeightedPattern>& mix,
+                                  int jobs) {
+  return RunReplicasImpl(configs, mix, jobs);
 }
 
 AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
@@ -86,27 +167,22 @@ AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
   return RunAggregates({config}, pattern, num_seeds, jobs).front();
 }
 
+AggregateResult RunAggregate(SimConfig config,
+                             const std::vector<WeightedPattern>& mix,
+                             int num_seeds, int jobs) {
+  return RunAggregates({config}, mix, num_seeds, jobs).front();
+}
+
 std::vector<AggregateResult> RunAggregates(const std::vector<SimConfig>& bases,
                                            const Pattern& pattern,
                                            int num_seeds, int jobs) {
-  WTPG_CHECK_GE(num_seeds, 1);
-  std::vector<SimConfig> replicas;
-  replicas.reserve(bases.size() * static_cast<size_t>(num_seeds));
-  for (const SimConfig& base : bases) {
-    for (int i = 0; i < num_seeds; ++i) {
-      SimConfig config = base;
-      config.run.seed = base.run.seed + static_cast<uint64_t>(i);
-      replicas.push_back(config);
-    }
-  }
-  const std::vector<RunStats> stats = RunReplicas(replicas, pattern, jobs);
-  std::vector<AggregateResult> results;
-  results.reserve(bases.size());
-  for (size_t b = 0; b < bases.size(); ++b) {
-    const auto first = stats.begin() + static_cast<ptrdiff_t>(b) * num_seeds;
-    results.push_back(Reduce({first, first + num_seeds}));
-  }
-  return results;
+  return RunAggregatesImpl(bases, pattern, num_seeds, jobs);
+}
+
+std::vector<AggregateResult> RunAggregates(
+    const std::vector<SimConfig>& bases,
+    const std::vector<WeightedPattern>& mix, int num_seeds, int jobs) {
+  return RunAggregatesImpl(bases, mix, num_seeds, jobs);
 }
 
 std::string AggregateResult::ToJson() const {
@@ -121,6 +197,21 @@ std::string AggregateResult::ToJson() const {
       .Add("start_rejections", start_rejections)
       .Add("cn_utilization", cn_utilization)
       .Add("mean_dpn_utilization", mean_dpn_utilization);
+  // Tail block is opt-in (run.tail_metrics): default-mode JSON — and the
+  // kernel-invariance goldens pinned to it — is unchanged.
+  if (tail_metrics) {
+    json.Add("p50_response_s", p50_response_s)
+        .Add("p95_response_s", p95_response_s)
+        .Add("p99_response_s", p99_response_s);
+    for (const ClassAgg& cs : per_class) {
+      const std::string prefix = StrCat("class", cs.workload_class, ".");
+      json.Add(StrCat(prefix, "completions"), cs.completions)
+          .Add(StrCat(prefix, "mean_s"), cs.mean_response_s)
+          .Add(StrCat(prefix, "p50_s"), cs.p50_response_s)
+          .Add(StrCat(prefix, "p95_s"), cs.p95_response_s)
+          .Add(StrCat(prefix, "p99_s"), cs.p99_response_s);
+    }
+  }
   for (const auto& [name, value] : counters) {
     json.Add(StrCat("counters.", name), value);
   }

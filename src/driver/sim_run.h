@@ -9,11 +9,15 @@
 #include "machine/config.h"
 #include "metrics/stats.h"
 #include "workload/pattern.h"
+#include "workload/workload.h"
 
 namespace wtpgsched {
 
 // Runs one simulation with the given configuration and workload pattern.
 RunStats RunSimulation(const SimConfig& config, const Pattern& pattern);
+// Mixed-workload variant (each replica instantiates its own copy of `mix`).
+RunStats RunSimulation(const SimConfig& config,
+                       const std::vector<WeightedPattern>& mix);
 
 // --- Parallel replica fan-out ---------------------------------------------
 //
@@ -41,6 +45,9 @@ int DefaultJobs();
 // input order.
 std::vector<RunStats> RunReplicas(const std::vector<SimConfig>& configs,
                                   const Pattern& pattern, int jobs = 0);
+std::vector<RunStats> RunReplicas(const std::vector<SimConfig>& configs,
+                                  const std::vector<WeightedPattern>& mix,
+                                  int jobs = 0);
 
 // Cross-seed aggregate of the figures the experiments report. Seeds are
 // config.run.seed, config.run.seed + 1, ... (common random numbers across
@@ -57,6 +64,27 @@ struct AggregateResult {
   double mean_dpn_utilization = 0.0;
   int num_seeds = 0;
 
+  // Tail-latency aggregate (run.tail_metrics replicas only; gates the extra
+  // JSON fields so default-mode output stays byte-identical to the goldens).
+  // Percentiles are per-replica percentiles averaged across seeds.
+  bool tail_metrics = false;
+  double p50_response_s = 0.0;
+  double p95_response_s = 0.0;
+  double p99_response_s = 0.0;
+
+  // Per-workload-class aggregate, ascending by class index. `completions`
+  // is the per-seed average (matching `completions` above); percentiles are
+  // averaged over the seeds in which the class completed at least once.
+  struct ClassAgg {
+    int workload_class = 0;
+    double completions = 0.0;
+    double mean_response_s = 0.0;
+    double p50_response_s = 0.0;
+    double p95_response_s = 0.0;
+    double p99_response_s = 0.0;
+  };
+  std::vector<ClassAgg> per_class;
+
   // Full counter registries of the replicas, summed (not averaged) in
   // submission order — names register in first-appearance order, so this is
   // reproducible for any worker count.
@@ -69,6 +97,9 @@ struct AggregateResult {
 
 AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
                              int num_seeds, int jobs = 0);
+AggregateResult RunAggregate(SimConfig config,
+                             const std::vector<WeightedPattern>& mix,
+                             int num_seeds, int jobs = 0);
 
 // Expands each base config into `num_seeds` replicas (seed = base.run.seed + i),
 // runs the whole batch through one pool, and reduces per base. Equivalent to
@@ -77,6 +108,9 @@ AggregateResult RunAggregate(SimConfig config, const Pattern& pattern,
 std::vector<AggregateResult> RunAggregates(const std::vector<SimConfig>& bases,
                                            const Pattern& pattern,
                                            int num_seeds, int jobs = 0);
+std::vector<AggregateResult> RunAggregates(
+    const std::vector<SimConfig>& bases,
+    const std::vector<WeightedPattern>& mix, int num_seeds, int jobs = 0);
 
 }  // namespace wtpgsched
 

@@ -70,7 +70,12 @@ OperatingPoint FindRateForResponseTime(const SimConfig& base,
     }
   }
   fill(&point, best_rate, best);
-  point.converged = true;
+  // Converged means the best probe actually landed within tolerance — not
+  // merely that the bisection ran out of iterations. An exhausted budget
+  // with every probe outside tol_s must report converged == false, or
+  // callers (FindRt70, --mode=rt-target) would treat an unconverged rate as
+  // the paper's operating point.
+  point.converged = std::abs(best.mean_response_s - target_s) <= tol_s;
   return point;
 }
 

@@ -118,6 +118,17 @@ Status SimConfig::Validate() const {
     return Status::InvalidArgument(
         "trace_capacity must be > 0 when tracing is enabled");
   }
+  if (machine.batch_mpl < 0) {
+    return Status::InvalidArgument("batch_mpl must be >= 0");
+  }
+  if (workload.zipf_theta < 0.0) {
+    return Status::InvalidArgument("zipf_theta must be >= 0");
+  }
+  if (run.tail_sketch && !run.tail_metrics) {
+    return Status::InvalidArgument(
+        "tail_sketch requires tail_metrics (the sketch only feeds the tail "
+        "percentiles)");
+  }
   return fault.Validate();
 }
 
@@ -135,7 +146,8 @@ std::string MachineToJson(const MachineSection& m) {
       .Add("num_files", m.num_files)
       .Add("dd", m.dd)
       .Add("mpl", MplToJson(m.mpl))
-      .Add("quantum_objects", m.quantum_objects);
+      .Add("quantum_objects", m.quantum_objects)
+      .Add("batch_mpl", m.batch_mpl);
   return w.ToString();
 }
 
@@ -156,7 +168,8 @@ std::string WorkloadToJson(const WorkloadSection& wl) {
   JsonWriter w;
   w.Add("arrival_rate_tps", wl.arrival_rate_tps)
       .Add("error_sigma", wl.error_sigma)
-      .Add("max_arrivals", wl.max_arrivals);
+      .Add("max_arrivals", wl.max_arrivals)
+      .Add("zipf_theta", wl.zipf_theta);
   return w.ToString();
 }
 
@@ -170,6 +183,8 @@ std::string RunToJson(const RunSection& r) {
       .Add("timeline_sample_ms", r.timeline_sample_ms)
       .Add("trace_enabled", r.trace_enabled)
       .Add("trace_capacity", r.trace_capacity)
+      .Add("tail_metrics", r.tail_metrics)
+      .Add("tail_sketch", r.tail_sketch)
       .Add("seed", r.seed);
   return w.ToString();
 }
@@ -246,6 +261,8 @@ Status ParseMachine(const JsonValue& obj, MachineSection* m) {
       if (s.ok() && m->mpl == 0) m->mpl = std::numeric_limits<int>::max();
     } else if (key == "quantum_objects") {
       s = ReadDouble("machine", key, v, &m->quantum_objects);
+    } else if (key == "batch_mpl") {
+      s = ReadInt("machine", key, v, &m->batch_mpl);
     } else {
       s = FieldError("machine", key, "unknown key");
     }
@@ -281,6 +298,8 @@ Status ParseWorkload(const JsonValue& obj, WorkloadSection* wl) {
       s = ReadDouble("workload", key, v, &wl->error_sigma);
     } else if (key == "max_arrivals") {
       s = ReadUint64("workload", key, v, &wl->max_arrivals);
+    } else if (key == "zipf_theta") {
+      s = ReadDouble("workload", key, v, &wl->zipf_theta);
     } else {
       s = FieldError("workload", key, "unknown key");
     }
@@ -306,6 +325,10 @@ Status ParseRun(const JsonValue& obj, RunSection* r) {
       s = ReadBool("run", key, v, &r->trace_enabled);
     } else if (key == "trace_capacity") {
       s = ReadUint64("run", key, v, &r->trace_capacity);
+    } else if (key == "tail_metrics") {
+      s = ReadBool("run", key, v, &r->tail_metrics);
+    } else if (key == "tail_sketch") {
+      s = ReadBool("run", key, v, &r->tail_sketch);
     } else if (key == "seed") {
       s = ReadUint64("run", key, v, &r->seed);
     } else {

@@ -46,6 +46,11 @@ struct MachineSection {
   // Round-robin service quantum at the DPNs, in objects. 0 selects the
   // paper's rule of 1/DD objects per turn (Section 4.1, item 4).
   double quantum_objects = 0.0;
+  // Priority-aware admission control: while this many low-priority
+  // (priority <= 0) transactions are active, further low-priority startups
+  // are delayed — every scheduler inherits the gate (see AdmissionControl
+  // in sched/scheduler.h). 0 (default) disables it.
+  int batch_mpl = 0;
 };
 
 // --- CPU / scan costs (milliseconds; Table 1) ---
@@ -66,6 +71,10 @@ struct WorkloadSection {
   double error_sigma = 0.0;  // Experiment 3 declaration-error stddev.
   // Stop generating arrivals after this many transactions (0 = unlimited).
   uint64_t max_arrivals = 0;
+  // Zipf file-access skew applied to every pattern variable (0 = exact
+  // uniform draws, byte-identical to the pre-Zipf generator). Applied by
+  // the Machine's pattern/mix constructors via Pattern::WithZipf.
+  double zipf_theta = 0.0;
 };
 
 // --- Run control & observability ---
@@ -95,6 +104,13 @@ struct RunSection {
   // nothing when false — every instrumentation site is behind one branch.
   bool trace_enabled = false;
   uint64_t trace_capacity = 1 << 20;
+  // Tail-latency observability (see TailOptions in metrics/stats.h). Both
+  // default off so default-config JSON stays byte-identical to the goldens.
+  // tail_metrics surfaces p50/p99 + per-class percentiles in RunStats /
+  // AggregateResult JSON; tail_sketch replaces exact sample retention with
+  // the O(1)-state P² sketch for long-horizon runs.
+  bool tail_metrics = false;
+  bool tail_sketch = false;
   uint64_t seed = 1;
 };
 

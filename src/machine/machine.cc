@@ -10,12 +10,33 @@
 
 namespace wtpgsched {
 
+namespace {
+
+// workload.zipf_theta overlays Zipf skew onto whatever pattern (or mix) the
+// caller supplied. theta == 0 returns the input untouched — including its
+// zero ZipfSampler state — so unskewed configs stay byte-identical.
+Pattern ApplyZipf(Pattern pattern, double theta) {
+  if (theta <= 0.0) return pattern;
+  return pattern.WithZipf(theta);
+}
+
+std::vector<WeightedPattern> ApplyZipf(std::vector<WeightedPattern> mix,
+                                       double theta) {
+  if (theta > 0.0) {
+    for (WeightedPattern& wp : mix) wp.pattern = wp.pattern.WithZipf(theta);
+  }
+  return mix;
+}
+
+}  // namespace
+
 Machine::Machine(const SimConfig& config, Pattern pattern)
     : Machine(config, std::move(pattern), CreateScheduler(config)) {}
 
 Machine::Machine(const SimConfig& config, std::vector<WeightedPattern> mix)
     : Machine(config,
-              WorkloadGenerator(std::move(mix), config.workload.arrival_rate_tps,
+              WorkloadGenerator(ApplyZipf(std::move(mix), config.workload.zipf_theta),
+                                config.workload.arrival_rate_tps,
                                 config.machine.dd, ErrorModel{config.workload.error_sigma},
                                 config.run.seed),
               CreateScheduler(config)) {}
@@ -23,7 +44,8 @@ Machine::Machine(const SimConfig& config, std::vector<WeightedPattern> mix)
 Machine::Machine(const SimConfig& config, Pattern pattern,
                  std::unique_ptr<Scheduler> scheduler)
     : Machine(config,
-              WorkloadGenerator(std::move(pattern), config.workload.arrival_rate_tps,
+              WorkloadGenerator(ApplyZipf(std::move(pattern), config.workload.zipf_theta),
+                                config.workload.arrival_rate_tps,
                                 config.machine.dd, ErrorModel{config.workload.error_sigma},
                                 config.run.seed),
               std::move(scheduler)) {}
@@ -36,7 +58,8 @@ Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
       workload_(std::move(workload)),
       scheduler_(std::move(scheduler)),
       cn_(&sim_, config),
-      stats_(config.warmup(), config.horizon()),
+      stats_(config.warmup(), config.horizon(),
+             TailOptions{config.run.tail_metrics, config.run.tail_sketch}),
       faults_enabled_(config.fault.enabled()),
       fault_rng_(config.run.seed ^ 0xda3e39cb94b95bdbull) {
   const Status valid = config.Validate();
@@ -58,6 +81,9 @@ Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
   // and lock table stay oblivious to whether tracing is on.
   scheduler_->set_trace(&trace_);
   scheduler_->lock_table().set_trace(&trace_);
+  if (config.machine.batch_mpl > 0) {
+    scheduler_->set_admission(AdmissionControl{config.machine.batch_mpl});
+  }
 }
 
 double Machine::BacklogObjectsForFile(FileId file) const {
@@ -99,6 +125,11 @@ RunStats Machine::Run() {
   }
   mean_util /= static_cast<double>(dpns_.size());
   scheduler_->ExportCounters(&stats_.counters());
+  // Only surfaced when the admission gate actually fired, so counter sets
+  // (and the golden JSON built from them) are unchanged for ungated runs.
+  if (scheduler_->admission_gated() > 0) {
+    stats_.counters().Counter("admission.gated") = scheduler_->admission_gated();
+  }
   if (trace_.enabled()) trace_.ExportCounters(&stats_.counters());
   return stats_.Finalize(cn_.Utilization(), mean_util, max_util,
                          in_flight());

@@ -1,0 +1,139 @@
+#include "metrics/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  WTPG_CHECK_GT(q_, 0.0);
+  WTPG_CHECK_LT(q_, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    // Warm-up: insert sorted; the markers double as the sample buffer.
+    size_t pos = count_;
+    while (pos > 0 && heights_[pos - 1] > value) {
+      heights_[pos] = heights_[pos - 1];
+      --pos;
+    }
+    heights_[pos] = value;
+    ++count_;
+    return;
+  }
+  ++count_;
+
+  // 1. Locate the cell and update the extreme markers.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  // 2. Shift the ranks of the markers above the cell; advance the targets.
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // 3. Nudge the three interior markers toward their target ranks,
+  // adjusting heights by the piecewise-parabolic (P²) formula, falling
+  // back to linear interpolation when the parabola would leave the
+  // bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double gap_up = positions_[i + 1] - positions_[i];
+    const double gap_down = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && gap_up > 1.0) || (d <= -1.0 && gap_down < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      const double qp =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+        heights_[i] = qp;
+      } else {
+        // Linear toward the neighbor in the movement direction.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+  // Exact while warming up, with Histogram::Percentile's interpolated-rank
+  // formula so short streams match the exact path bit-for-bit.
+  if (count_ == 1) return heights_[0];
+  const double rank = q_ * static_cast<double>(count_ - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, count_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return heights_[lo] * (1.0 - frac) + heights_[hi] * frac;
+}
+
+QuantileSketch::QuantileSketch() : p50_(0.50), p95_(0.95), p99_(0.99) {}
+
+void QuantileSketch::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - welford_mean_;
+  welford_mean_ += delta / static_cast<double>(count_);
+  welford_m2_ += delta * (value - welford_mean_);
+  p50_.Add(value);
+  p95_.Add(value);
+  p99_.Add(value);
+}
+
+double QuantileSketch::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::StdDev() const {
+  if (count_ == 0) return 0.0;
+  const double var = welford_m2_ / static_cast<double>(count_);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,80 @@
+#ifndef WTPG_SCHED_METRICS_QUANTILE_SKETCH_H_
+#define WTPG_SCHED_METRICS_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+
+namespace wtpgsched {
+
+// P² single-quantile estimator (Jain & Chlamtac, CACM 1985): tracks one
+// target quantile of a stream with five markers — fixed O(1) state, no
+// sample retention. While fewer than five observations have arrived the
+// estimate is exact, using the same interpolated-rank formula as
+// Histogram::Percentile so short streams agree byte-for-byte with the
+// exact path.
+//
+// Accuracy: for smooth unimodal distributions the estimate is typically
+// within a few percent of the exact order statistic once a few hundred
+// samples have arrived; it is an approximation, not an order statistic —
+// the differential tests in tests/metrics/ pin the observed error against
+// the exact Histogram oracle.
+class P2Quantile {
+ public:
+  // `quantile` in (0, 1), e.g. 0.99 for p99.
+  explicit P2Quantile(double quantile);
+
+  void Add(double value);
+
+  // Current estimate; 0 for an empty stream.
+  double Value() const;
+
+  size_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double q_;
+  // Marker invariant (count >= 5): heights ascend, positions are the
+  // 1-based ranks of the markers within the observed stream.
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+  size_t count_ = 0;
+};
+
+// Bounded-memory replacement for Histogram on long-horizon response-time
+// streams: count/sum/min/max, Welford mean/variance (numerically stable —
+// no sum-of-squares cancellation), and P² markers for p50/p95/p99.
+// State is O(1) per stream regardless of run length.
+class QuantileSketch {
+ public:
+  QuantileSketch();
+
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  // Population standard deviation via Welford's recurrence.
+  double StdDev() const;
+
+  double P50() const { return p50_.Value(); }
+  double P95() const { return p95_.Value(); }
+  double P99() const { return p99_.Value(); }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double welford_mean_ = 0.0;
+  double welford_m2_ = 0.0;
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_METRICS_QUANTILE_SKETCH_H_

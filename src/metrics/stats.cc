@@ -2,6 +2,7 @@
 
 #include "util/json_writer.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace wtpgsched {
 
@@ -34,21 +35,37 @@ std::string RunStats::ToJson() const {
       .Add("max_dpn_utilization", max_dpn_utilization)
       .Add("sim_seconds", sim_seconds)
       .Add("in_flight_at_end", in_flight_at_end);
+  if (tail_metrics) {
+    json.Add("p50_response_s", median_response_s)
+        .Add("p99_response_s", p99_response_s)
+        .Add("sketch_quantiles", sketch_quantiles);
+    for (const ClassStats& cs : per_class) {
+      const std::string prefix = StrCat("class", cs.workload_class, ".");
+      json.Add(StrCat(prefix, "completions"), cs.completions)
+          .Add(StrCat(prefix, "mean_s"), cs.mean_response_s)
+          .Add(StrCat(prefix, "p50_s"), cs.median_response_s)
+          .Add(StrCat(prefix, "p95_s"), cs.p95_response_s)
+          .Add(StrCat(prefix, "p99_s"), cs.p99_response_s);
+    }
+  }
   for (const auto& [name, value] : counters) {
     if (!IsLegacyCounter(name)) json.Add(name, value);
   }
   return json.ToString();
 }
 
-StatsCollector::StatsCollector(SimTime warmup, SimTime horizon)
+StatsCollector::StatsCollector(SimTime warmup, SimTime horizon,
+                               TailOptions tail)
     : warmup_(warmup),
       horizon_(horizon),
+      tail_(tail),
       restarts_(&counters_.Counter("restarts")),
       blocked_(&counters_.Counter("blocked")),
       delayed_(&counters_.Counter("delayed")),
       start_rejections_(&counters_.Counter("start_rejections")) {
   WTPG_CHECK_GE(warmup_, 0);
   WTPG_CHECK_GT(horizon_, warmup_);
+  window_responses_.use_sketch = tail_.sketch;
 }
 
 void StatsCollector::RecordCompletion(const Transaction& txn, SimTime now) {
@@ -57,7 +74,9 @@ void StatsCollector::RecordCompletion(const Transaction& txn, SimTime now) {
     ++stats_.completions_measured;
     const double response_s = TimeToSeconds(now - txn.arrival_time);
     window_responses_.Add(response_s);
-    class_responses_[txn.workload_class].Add(response_s);
+    auto [it, inserted] = class_responses_.try_emplace(txn.workload_class);
+    if (inserted) it->second.use_sketch = tail_.sketch;
+    it->second.Add(response_s);
   }
 }
 
@@ -71,9 +90,12 @@ RunStats StatsCollector::Finalize(double cn_utilization,
   result.delayed = counters_.Get("delayed");
   result.start_rejections = counters_.Get("start_rejections");
   result.counters = counters_.Entries();
+  result.tail_metrics = tail_.tail_metrics;
+  result.sketch_quantiles = tail_.sketch;
   result.mean_response_s = window_responses_.Mean();
-  result.median_response_s = window_responses_.Median();
-  result.p95_response_s = window_responses_.Percentile(95.0);
+  result.median_response_s = window_responses_.P50();
+  result.p95_response_s = window_responses_.P95();
+  result.p99_response_s = window_responses_.P99();
   const double window_s = TimeToSeconds(horizon_ - warmup_);
   result.throughput_tps =
       window_s > 0.0
@@ -84,13 +106,14 @@ RunStats StatsCollector::Finalize(double cn_utilization,
   result.max_dpn_utilization = max_dpn_utilization;
   result.sim_seconds = TimeToSeconds(horizon_);
   result.in_flight_at_end = in_flight;
-  for (const auto& [workload_class, histogram] : class_responses_) {
+  for (const auto& [workload_class, stream] : class_responses_) {
     RunStats::ClassStats cs;
     cs.workload_class = workload_class;
-    cs.completions = histogram.count();
-    cs.mean_response_s = histogram.Mean();
-    cs.median_response_s = histogram.Median();
-    cs.p95_response_s = histogram.Percentile(95.0);
+    cs.completions = stream.Count();
+    cs.mean_response_s = stream.Mean();
+    cs.median_response_s = stream.P50();
+    cs.p95_response_s = stream.P95();
+    cs.p99_response_s = stream.P99();
     result.per_class.push_back(cs);
   }
   return result;

@@ -8,11 +8,27 @@
 #include <vector>
 
 #include "metrics/counters.h"
+#include "metrics/quantile_sketch.h"
 #include "model/transaction.h"
 #include "sim/time.h"
 #include "util/histogram.h"
 
 namespace wtpgsched {
+
+// Tail-latency observability options (config.run.tail_metrics /
+// config.run.tail_sketch). Both default off, which keeps RunStats JSON —
+// and therefore the kernel-invariance goldens — byte-identical to the
+// pre-tail-metrics output.
+struct TailOptions {
+  // Surface p50/p99 and the per-class breakdown in ToJson output.
+  bool tail_metrics = false;
+  // Replace exact sample retention with the O(1)-state P² sketch: required
+  // for long-horizon open-system runs where retaining every response time
+  // grows without bound. Quantiles become approximations (see
+  // metrics/quantile_sketch.h); the exact Histogram path remains the
+  // differential-test oracle.
+  bool sketch = false;
+};
 
 // Aggregate results of one simulation run (the paper's three metrics —
 // mean response time, throughput, and the ingredients of response-time
@@ -24,6 +40,7 @@ struct RunStats {
   double mean_response_s = 0.0;       // Over the measurement window.
   double median_response_s = 0.0;
   double p95_response_s = 0.0;
+  double p99_response_s = 0.0;
   double throughput_tps = 0.0;  // completions_measured / window length.
   uint64_t restarts = 0;        // OPT validation failures.
   uint64_t blocked = 0;         // Lock requests blocked.
@@ -35,6 +52,11 @@ struct RunStats {
   double sim_seconds = 0.0;     // Total simulated horizon.
   uint64_t in_flight_at_end = 0;  // Transactions not finished at horizon.
 
+  // Tail-metrics mode of the run (copied from TailOptions): gates the
+  // extra JSON fields below so default-config output stays byte-identical.
+  bool tail_metrics = false;
+  bool sketch_quantiles = false;
+
   // Full counter-registry contents, in registration order. The first four
   // ("restarts", "blocked", "delayed", "start_rejections") mirror the legacy
   // fields above; the rest are scheduler-specific ("low.deadlock_delays")
@@ -42,8 +64,9 @@ struct RunStats {
   std::vector<std::pair<std::string, uint64_t>> counters;
 
   // One-line JSON object with every field (tooling output). Legacy field
-  // names and order are preserved; non-legacy counters are appended at the
-  // end under their registry names.
+  // names and order are preserved; when tail_metrics is set, p50/p99 and
+  // flat per-class keys ("class0.p99_s") are appended before the non-legacy
+  // counters.
   std::string ToJson() const;
 
   // Per-workload-class breakdown (mixed workloads; one entry for
@@ -54,6 +77,7 @@ struct RunStats {
     double mean_response_s = 0.0;
     double median_response_s = 0.0;
     double p95_response_s = 0.0;
+    double p99_response_s = 0.0;
   };
   std::vector<ClassStats> per_class;
 };
@@ -63,7 +87,7 @@ struct RunStats {
 // response-time and throughput figures (the paper uses warmup 0).
 class StatsCollector {
  public:
-  StatsCollector(SimTime warmup, SimTime horizon);
+  StatsCollector(SimTime warmup, SimTime horizon, TailOptions tail = {});
 
   void RecordArrival() { ++stats_.arrivals; }
   void RecordBlocked() { ++*blocked_; }
@@ -80,7 +104,8 @@ class StatsCollector {
   RunStats Finalize(double cn_utilization, double mean_dpn_utilization,
                     double max_dpn_utilization, uint64_t in_flight) const;
 
-  const Histogram& response_times() const { return window_responses_; }
+  // Exact retained samples; empty (and not maintained) in sketch mode.
+  const Histogram& response_times() const { return window_responses_.exact; }
 
   // Shared name -> count registry. The collector's own counters live here
   // (under the legacy JSON field names); schedulers and the trace recorder
@@ -90,8 +115,33 @@ class StatsCollector {
   const CounterRegistry& counters() const { return counters_; }
 
  private:
+  // One response-time stream in either representation: the exact Histogram
+  // (short runs; differential oracle) or the O(1)-state sketch (long
+  // horizons). Exactly one side is fed, chosen once per run.
+  struct Stream {
+    bool use_sketch = false;
+    Histogram exact;
+    QuantileSketch sketch;
+
+    void Add(double v) { use_sketch ? sketch.Add(v) : exact.Add(v); }
+    size_t Count() const {
+      return use_sketch ? sketch.count() : exact.count();
+    }
+    double Mean() const { return use_sketch ? sketch.Mean() : exact.Mean(); }
+    double P50() const {
+      return use_sketch ? sketch.P50() : exact.Percentile(50.0);
+    }
+    double P95() const {
+      return use_sketch ? sketch.P95() : exact.Percentile(95.0);
+    }
+    double P99() const {
+      return use_sketch ? sketch.P99() : exact.Percentile(99.0);
+    }
+  };
+
   SimTime warmup_;
   SimTime horizon_;
+  TailOptions tail_;
   RunStats stats_;
   CounterRegistry counters_;
   // Cached registry slots for the hot-path Record* calls (deque-backed, so
@@ -100,8 +150,8 @@ class StatsCollector {
   uint64_t* blocked_;
   uint64_t* delayed_;
   uint64_t* start_rejections_;
-  Histogram window_responses_;  // Seconds; completions in window only.
-  std::map<int, Histogram> class_responses_;
+  Stream window_responses_;  // Seconds; completions in window only.
+  std::map<int, Stream> class_responses_;
 };
 
 }  // namespace wtpgsched

@@ -105,6 +105,11 @@ class Transaction {
   // (0 for single-pattern workloads); used for per-class statistics.
   int workload_class = 0;
 
+  // Scheduling priority of the workload class (higher = more urgent;
+  // 0 = batch/background). Read by the admission-control gate in
+  // Scheduler::OnStartup; constant across incarnations.
+  int priority = 0;
+
   SimTime arrival_time = 0;      // First arrival at the control node.
   SimTime admit_time = -1;       // When the scheduler admitted it (last incarnation).
   SimTime completion_time = -1;  // When commit processing finished.

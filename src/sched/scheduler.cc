@@ -20,9 +20,19 @@ SimTime Scheduler::LockDecisionCost(const Transaction& txn, int step) const {
 Decision Scheduler::OnStartup(Transaction& txn) {
   WTPG_CHECK(active_.find(txn.id()) == active_.end())
       << "OnStartup for already-active T" << txn.id();
+  // Priority-aware admission gate, ahead of the scheduler-specific test:
+  // every scheduler inherits it. kDelay parks the transaction; the machine
+  // retries it when a commit (or grant / fallback timer) changes the state.
+  if (admission_.enabled() && txn.priority < admission_.priority_cutoff &&
+      active_low_priority_ >=
+          static_cast<size_t>(admission_.low_priority_mpl)) {
+    ++admission_gated_;
+    return Decision{DecisionKind::kDelay, kInvalidFile};
+  }
   Decision d = DecideStartup(txn);
   if (d.kind == DecisionKind::kGrant) {
     active_[txn.id()] = &txn;
+    if (txn.priority < admission_.priority_cutoff) ++active_low_priority_;
     AfterAdmit(txn);
   }
   return d;
@@ -62,6 +72,9 @@ bool Scheduler::ValidateAtCommit(Transaction& txn) {
 std::vector<FileId> Scheduler::OnCommit(Transaction& txn) {
   WTPG_CHECK(active_.erase(txn.id()) == 1)
       << "OnCommit for inactive T" << txn.id();
+  if (txn.priority < admission_.priority_cutoff && active_low_priority_ > 0) {
+    --active_low_priority_;
+  }
   std::vector<FileId> released = lock_table_.ReleaseAll(txn.id());
   AfterCommit(txn);
   return released;
@@ -70,6 +83,9 @@ std::vector<FileId> Scheduler::OnCommit(Transaction& txn) {
 std::vector<FileId> Scheduler::OnAbort(Transaction& txn) {
   WTPG_CHECK(active_.erase(txn.id()) == 1)
       << "OnAbort for inactive T" << txn.id();
+  if (txn.priority < admission_.priority_cutoff && active_low_priority_ > 0) {
+    --active_low_priority_;
+  }
   std::vector<FileId> released = lock_table_.ReleaseAll(txn.id());
   AfterAbort(txn);
   return released;

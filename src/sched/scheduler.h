@@ -34,6 +34,20 @@ struct Decision {
   FileId file = kInvalidFile;
 };
 
+// Priority-aware admission control, enforced by the Scheduler base class
+// ahead of every scheduler's own startup test (so all schedulers inherit
+// it). While `low_priority_mpl` transactions with priority <
+// `priority_cutoff` are active, further low-priority startups are delayed
+// (parked by the machine and retried on commits); high-priority
+// transactions are never gated. Disabled by default — the paper's
+// closed-batch experiments run without it.
+struct AdmissionControl {
+  int low_priority_mpl = 0;  // 0 disables the gate.
+  int priority_cutoff = 1;   // Gate applies to priority < cutoff.
+
+  bool enabled() const { return low_priority_mpl > 0; }
+};
+
 // Static capabilities of a scheduler, declared in one value struct instead
 // of a virtual per capability. The machine and the base-class grant path
 // read these; a scheduler that deviates from the defaults overrides
@@ -116,6 +130,19 @@ class Scheduler {
   // clock, which the machine refreshes per event.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  // Priority-aware admission gate shared by every scheduler (machine wires
+  // it from config.machine.batch_mpl before the run). When enabled,
+  // OnStartup delays low-priority startups while the low-priority active
+  // count is at the limit, before the scheduler-specific test runs.
+  void set_admission(const AdmissionControl& admission) {
+    admission_ = admission;
+  }
+  const AdmissionControl& admission() const { return admission_; }
+
+  // Low-priority transactions currently active / startups gated so far.
+  size_t active_low_priority() const { return active_low_priority_; }
+  uint64_t admission_gated() const { return admission_gated_; }
+
   // Adds this scheduler's decision counters (e.g. "low.deadlock_delays")
   // to the run's registry; called once at the end of a run.
   virtual void ExportCounters(CounterRegistry* registry) const {
@@ -147,6 +174,13 @@ class Scheduler {
   LockTable lock_table_;
   std::map<TxnId, Transaction*> active_;
   TraceRecorder* trace_ = nullptr;
+
+ private:
+  // Admission-control state (base-class only; OnStartup / OnCommit /
+  // OnAbort maintain the low-priority active count).
+  AdmissionControl admission_;
+  size_t active_low_priority_ = 0;
+  uint64_t admission_gated_ = 0;
 };
 
 // Shared machinery for the schedulers that maintain a (weighted or

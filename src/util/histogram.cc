@@ -11,7 +11,6 @@ void Histogram::Add(double value) {
   samples_.push_back(value);
   sorted_ = false;
   sum_ += value;
-  sum_sq_ += value * value;
 }
 
 void Histogram::EnsureSorted() const {
@@ -43,7 +42,15 @@ double Histogram::StdDev() const {
   if (samples_.empty()) return 0.0;
   const double n = static_cast<double>(samples_.size());
   const double mean = sum_ / n;
-  const double var = sum_sq_ / n - mean * mean;
+  // Two-pass over the retained samples: the textbook sum_sq/n - mean^2 form
+  // cancels catastrophically for large-mean/small-variance streams (e.g.
+  // responses near 1e8 s spread by 1e-3 lose every significant digit).
+  double acc = 0.0;
+  for (double v : samples_) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  const double var = acc / n;
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -65,7 +72,6 @@ void Histogram::Clear() {
   samples_.clear();
   sorted_ = true;
   sum_ = 0.0;
-  sum_sq_ = 0.0;
 }
 
 }  // namespace wtpgsched

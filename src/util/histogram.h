@@ -36,7 +36,6 @@ class Histogram {
   std::vector<double> samples_;
   mutable bool sorted_ = true;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
 };
 
 }  // namespace wtpgsched

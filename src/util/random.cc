@@ -85,4 +85,68 @@ double Rng::Normal(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+namespace {
+
+// log(1 + x) / x with the series fallback near 0.
+double Helper1(double x) {
+  return std::abs(x) > 1e-8 ? std::log1p(x) / x
+                            : 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+// (e^x - 1) / x with the series fallback near 0.
+double Helper2(double x) {
+  return std::abs(x) > 1e-8
+             ? std::expm1(x) / x
+             : 1.0 + x * (0.5 + x * (1.0 / 6.0 + x * (1.0 / 24.0)));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(int64_t num_elements, double theta)
+    : num_elements_(num_elements), theta_(theta) {
+  WTPG_CHECK_GE(num_elements_, 1);
+  WTPG_CHECK_GE(theta_, 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_num_elements_ =
+      HIntegral(static_cast<double>(num_elements_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - Hat(2.0));
+}
+
+// H(x) = (x^(1-theta) - 1) / (1 - theta), continued as log(x) at theta = 1.
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - theta_);
+  // Guard the log1p domain against rounding below -1 for large negative x.
+  if (t < -1.0) t = -1.0;
+  return std::exp(Helper1(t) * x);
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  if (num_elements_ == 1) return 0;
+  if (theta_ == 0.0) return rng->UniformInt(0, num_elements_ - 1);
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng->NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HIntegralInverse(u);
+    int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > num_elements_) {
+      k = num_elements_;
+    }
+    // Accept when k is within the unnormalized-density envelope: either
+    // directly (the cheap s-shortcut) or by the exact hat comparison.
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= HIntegral(static_cast<double>(k) + 0.5) -
+                 Hat(static_cast<double>(k))) {
+      return k - 1;  // 1-based rank to 0-based.
+    }
+  }
+}
+
 }  // namespace wtpgsched

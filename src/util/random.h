@@ -1,6 +1,7 @@
 #ifndef WTPG_SCHED_UTIL_RANDOM_H_
 #define WTPG_SCHED_UTIL_RANDOM_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace wtpgsched {
@@ -40,6 +41,47 @@ class Rng {
   uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
+};
+
+// Zipf(theta) sampler over ranks [0, num_elements) by rejection inversion
+// (Hörmann & Derflinger). Rank 0 is the hottest element; P(rank k) is
+// proportional to 1 / (k + 1)^theta. All state is a handful of constants
+// precomputed from (num_elements, theta) at construction — O(1) memory
+// regardless of the universe size (an alias table over 10M files would cost
+// 160 MB per pattern variable), and O(1) expected draws per sample.
+//
+// The sampler is immutable after construction and carries no RNG of its
+// own: every draw consumes the caller's Rng, so it composes with the
+// repo's seed-fork determinism discipline (same Rng stream in, same rank
+// sequence out) and is safe to share across replica worker threads.
+class ZipfSampler {
+ public:
+  // `num_elements` >= 1; `theta` >= 0 (theta == 0 is the uniform
+  // distribution, sampled exactly via Rng::UniformInt).
+  ZipfSampler(int64_t num_elements, double theta);
+  // Cheap placeholder (single element) so containers of samplers can be
+  // built before the real parameters are known.
+  ZipfSampler() : ZipfSampler(1, 0.0) {}
+
+  // Draws one rank in [0, num_elements).
+  int64_t Sample(Rng* rng) const;
+
+  int64_t num_elements() const { return num_elements_; }
+  double theta() const { return theta_; }
+
+ private:
+  // Integral of the dominating hat function h(x) = x^-theta (log at
+  // theta == 1), and its inverse — evaluated in expm1/log1p form so the
+  // theta -> 1 limit is seamless.
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  double Hat(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+  int64_t num_elements_;
+  double theta_;
+  double h_integral_x1_;            // HIntegral(1.5) - 1.
+  double h_integral_num_elements_;  // HIntegral(num_elements + 0.5).
+  double s_;                        // Rejection shortcut threshold.
 };
 
 }  // namespace wtpgsched

@@ -1,0 +1,55 @@
+#include "workload/openworld.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace wtpgsched {
+
+std::vector<WeightedPattern> MakeOpenWorldMix(const OpenWorldSpec& spec) {
+  WTPG_CHECK_GE(spec.num_files, 2) << "open-world universe needs >= 2 files";
+  WTPG_CHECK_GT(spec.interactive_share, 0.0);
+  WTPG_CHECK_LT(spec.interactive_share, 1.0);
+  WTPG_CHECK_GE(spec.zipf_theta, 0.0);
+  WTPG_CHECK_GT(spec.interactive_cost, 0.0);
+  WTPG_CHECK_GT(spec.batch_cost, 0.0);
+
+  const FileId hi = static_cast<FileId>(spec.num_files - 1);
+  const auto var = [&] {
+    return FileVarSpec{0, hi, /*distinct_within_pool=*/true, spec.zipf_theta};
+  };
+  const LockMode kX = LockMode::kExclusive;
+  const LockMode kS = LockMode::kShared;
+
+  // Interactive: short read + write over two distinct skewed files. The
+  // read takes an S-lock (point lookup), the write an X-lock.
+  std::vector<FileVarSpec> ivars = {var(), var()};
+  std::vector<PatternStepSpec> isteps = {
+      {/*is_write=*/false, kS, /*file_var=*/0, spec.interactive_cost},
+      {/*is_write=*/true, kX, /*file_var=*/1, spec.interactive_cost / 5.0},
+  };
+  Pattern interactive("Interactive", std::move(ivars), std::move(isteps));
+
+  // Batch: a long scan over three skewed files plus a summary write — the
+  // declared footprint the WTPG schedulers reason about is an order of
+  // magnitude heavier than an interactive transaction's.
+  std::vector<FileVarSpec> bvars = {var(), var(), var(), var()};
+  std::vector<PatternStepSpec> bsteps = {
+      {/*is_write=*/false, kS, /*file_var=*/0, spec.batch_cost},
+      {/*is_write=*/false, kS, /*file_var=*/1, spec.batch_cost},
+      {/*is_write=*/false, kS, /*file_var=*/2, spec.batch_cost},
+      {/*is_write=*/true, kX, /*file_var=*/3, spec.batch_cost / 5.0},
+  };
+  Pattern batch("BatchScan", std::move(bvars), std::move(bsteps));
+
+  std::vector<WeightedPattern> mix;
+  mix.push_back(WeightedPattern{std::move(interactive),
+                                spec.interactive_share,
+                                spec.interactive_priority});
+  mix.push_back(WeightedPattern{std::move(batch),
+                                1.0 - spec.interactive_share,
+                                spec.batch_priority});
+  return mix;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,44 @@
+#ifndef WTPG_SCHED_WORKLOAD_OPENWORLD_H_
+#define WTPG_SCHED_WORKLOAD_OPENWORLD_H_
+
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace wtpgsched {
+
+// The open-system production workload tier (ROADMAP item 3): short
+// interactive transactions and long batch scans sharing one Zipf-skewed
+// file universe. The paper's closed-batch experiments draw uniform 16-file
+// patterns; this spec asks the paper's question at production scale — do
+// the WTPG optimizers still protect the interactive tail when a minority
+// of long scans contends for the hot head of a multi-million-file Zipf
+// distribution?
+//
+// Class 0 (mix index 0): interactive — r(F1) -> w(F2), priority 1.
+// Class 1 (mix index 1): batch scan — r(B1) -> r(B2) -> r(B3) -> w(B4),
+//   priority 0 (gated by machine.batch_mpl when set).
+// All file variables draw from the same [0, num_files) pool with the same
+// theta, so interactive point reads and batch scans collide on the hot
+// prefix — the DGCC-style high-contention hot-key regime.
+struct OpenWorldSpec {
+  int num_files = 1'000'000;
+  double zipf_theta = 0.9;
+  // Arrival share of the interactive class, in (0, 1).
+  double interactive_share = 0.9;
+  // I/O demand in objects (at DD = 1) of one interactive read step; the
+  // trailing write costs a fifth of it (Experiment-1 idiom).
+  double interactive_cost = 1.0;
+  // I/O demand per batch read step; the summary write costs a fifth.
+  double batch_cost = 16.0;
+  int interactive_priority = 1;
+  int batch_priority = 0;
+};
+
+// Builds the two-class weighted mix. Component order (and therefore
+// workload_class numbering) is interactive = 0, batch = 1.
+std::vector<WeightedPattern> MakeOpenWorldMix(const OpenWorldSpec& spec);
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_WORKLOAD_OPENWORLD_H_

@@ -11,8 +11,12 @@ Pattern::Pattern(std::string name, std::vector<FileVarSpec> vars,
                  std::vector<PatternStepSpec> steps)
     : name_(std::move(name)), vars_(std::move(vars)), steps_(std::move(steps)) {
   WTPG_CHECK(!steps_.empty()) << "pattern with no steps";
+  zipf_.reserve(vars_.size());
   for (const FileVarSpec& v : vars_) {
     WTPG_CHECK_LE(v.pool_lo, v.pool_hi);
+    WTPG_CHECK_GE(v.zipf_theta, 0.0);
+    const int64_t pool = static_cast<int64_t>(v.pool_hi) - v.pool_lo + 1;
+    zipf_.emplace_back(pool, v.zipf_theta);
   }
   for (const PatternStepSpec& s : steps_) {
     WTPG_CHECK_GE(s.file_var, 0);
@@ -63,6 +67,12 @@ FileId Pattern::MaxFileId() const {
   return max_id;
 }
 
+Pattern Pattern::WithZipf(double theta) const {
+  std::vector<FileVarSpec> vars = vars_;
+  for (FileVarSpec& v : vars) v.zipf_theta = theta;
+  return Pattern(name_, std::move(vars), steps_);
+}
+
 double Pattern::TotalCost() const {
   double total = 0.0;
   for (const PatternStepSpec& s : steps_) total += s.cost;
@@ -79,7 +89,12 @@ std::vector<StepSpec> Pattern::Instantiate(Rng* rng, int dd,
     FileId file;
     int attempts = 0;
     do {
-      file = static_cast<FileId>(rng->UniformInt(v.pool_lo, v.pool_hi));
+      // Zipf vars draw a skewed rank offset from the pool base; uniform
+      // vars keep the exact historical UniformInt path (bit-identical
+      // draws for theta == 0 configs).
+      file = v.zipf_theta > 0.0
+                 ? static_cast<FileId>(v.pool_lo + zipf_[i].Sample(rng))
+                 : static_cast<FileId>(rng->UniformInt(v.pool_lo, v.pool_hi));
       bool clash = false;
       if (v.distinct_within_pool) {
         for (size_t j = 0; j < i; ++j) {

@@ -22,6 +22,12 @@ struct FileVarSpec {
   // When true, the draw excludes files already bound to earlier variables
   // with the same pool (e.g. F1 != F2 in Pattern 1).
   bool distinct_within_pool = true;
+  // Zipf skew over the pool: 0 (default) draws uniformly via the exact
+  // historical Rng::UniformInt path; theta > 0 draws pool_lo + rank with
+  // rank ~ Zipf(theta) over the pool size (pool_lo is the hottest file).
+  // The sampler is precomputed at Pattern construction (O(1) state even
+  // for 10M-file pools — see ZipfSampler).
+  double zipf_theta = 0.0;
 };
 
 // One templated step.
@@ -64,6 +70,11 @@ class Pattern {
   // Largest file id any variable can draw (for validating placement).
   FileId MaxFileId() const;
 
+  // Copy of this pattern with every file variable's zipf_theta set (the
+  // config.workload.zipf_theta / --zipf-theta override). theta = 0 returns
+  // an exact-uniform copy.
+  Pattern WithZipf(double theta) const;
+
   // Total actual I/O demand of one instance, in objects at DD = 1.
   double TotalCost() const;
 
@@ -77,6 +88,9 @@ class Pattern {
   std::string name_;
   std::vector<FileVarSpec> vars_;
   std::vector<PatternStepSpec> steps_;
+  // One sampler per variable, built at construction; consulted only for
+  // vars with zipf_theta > 0 (uniform vars keep the UniformInt path).
+  std::vector<ZipfSampler> zipf_;
 };
 
 }  // namespace wtpgsched

@@ -29,10 +29,24 @@ WorkloadGenerator::WorkloadGenerator(std::vector<WeightedPattern> mix,
   WTPG_CHECK_GT(arrival_rate_tps_, 0.0);
   WTPG_CHECK_GE(dd_, 1);
   WTPG_CHECK(!mix_.empty()) << "workload mix must have a component";
+  weights_.reserve(mix_.size());
   for (const WeightedPattern& wp : mix_) {
     WTPG_CHECK_GT(wp.weight, 0.0);
     total_weight_ += wp.weight;
+    weights_.push_back(wp.weight);
   }
+}
+
+size_t PickByWeight(const std::vector<double>& weights, double pick) {
+  for (size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) return i;
+  }
+  // Rounding left pick >= 0 after subtracting every weight (the
+  // left-to-right accumulated total can exceed the same weights subtracted
+  // sequentially from a value just below it). The draw lies in the last
+  // component's band, not the first's — clamp accordingly.
+  return weights.size() - 1;
 }
 
 SimTime WorkloadGenerator::NextInterarrival() {
@@ -42,22 +56,16 @@ SimTime WorkloadGenerator::NextInterarrival() {
 }
 
 std::unique_ptr<Transaction> WorkloadGenerator::NextTransaction() {
-  const Pattern* pattern = &mix_.front().pattern;
-  int workload_class = 0;
+  size_t component = 0;
   if (mix_.size() > 1) {
-    double pick = pattern_rng_.NextDouble() * total_weight_;
-    for (size_t i = 0; i < mix_.size(); ++i) {
-      pick -= mix_[i].weight;
-      if (pick < 0.0) {
-        pattern = &mix_[i].pattern;
-        workload_class = static_cast<int>(i);
-        break;
-      }
-    }
+    const double pick = pattern_rng_.NextDouble() * total_weight_;
+    component = PickByWeight(weights_, pick);
   }
-  auto steps = pattern->Instantiate(&pattern_rng_, dd_, error_);
+  const WeightedPattern& wp = mix_[component];
+  auto steps = wp.pattern.Instantiate(&pattern_rng_, dd_, error_);
   auto txn = std::make_unique<Transaction>(next_id_++, std::move(steps));
-  txn->workload_class = workload_class;
+  txn->workload_class = static_cast<int>(component);
+  txn->priority = wp.priority;
   return txn;
 }
 

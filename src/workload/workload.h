@@ -15,7 +15,18 @@ namespace wtpgsched {
 struct WeightedPattern {
   Pattern pattern;
   double weight = 1.0;  // Relative arrival share (> 0).
+  // Scheduling priority stamped onto transactions of this class (higher =
+  // more urgent; 0 = batch/background). Read by the admission-control gate
+  // in Scheduler::OnStartup.
+  int priority = 0;
 };
+
+// Index selected by a roulette draw `pick` in [0, sum(weights)): sequential
+// subtraction, clamped to the last component when floating-point rounding
+// leaves pick >= 0 after every weight has been subtracted (the accumulated
+// total can exceed the sequentially-subtracted total by a few ulps, e.g.
+// with ten 0.1 weights). Exposed for the clamp's regression test.
+size_t PickByWeight(const std::vector<double>& weights, double pick);
 
 // Open workload source: Poisson arrivals of transactions instantiated from
 // one pattern or a weighted mix (the paper's motivation is OLTP machines
@@ -47,6 +58,7 @@ class WorkloadGenerator {
 
  private:
   std::vector<WeightedPattern> mix_;
+  std::vector<double> weights_;  // mix_[i].weight, contiguous for the pick.
   double total_weight_ = 0.0;
   double arrival_rate_tps_;
   int dd_;

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "driver/sweep.h"
+#include "machine/config.h"
+#include "workload/pattern.h"
+
+namespace wtpgsched {
+namespace {
+
+// Regression coverage for the FindRateForResponseTime convergence flag: it
+// used to report converged == true whenever the target was bracketed, even
+// when every bisection probe landed outside tol_s. Both outcomes of the
+// bracketed path are pinned here (the unbracketed paths are covered in
+// integration/driver_test.cc).
+
+SimConfig QuickConfig() {
+  SimConfig c;
+  c.scheduler = SchedulerKind::kNodc;
+  c.machine.num_files = 16;
+  c.run.horizon_ms = 300'000;
+  c.run.seed = 3;
+  return c;
+}
+
+TEST(SweepConvergenceTest, BracketedTargetWithinToleranceConverges) {
+  // Generous tolerance: the very first mid-point probe is within tol_s of
+  // any response time the bracket can produce, so the search must converge.
+  const OperatingPoint op = FindRateForResponseTime(
+      QuickConfig(), Pattern::Experiment1(16), /*target_s=*/30.0,
+      /*lo_tps=*/0.1, /*hi_tps=*/1.6, /*num_seeds=*/1, /*iters=*/8,
+      /*tol_s=*/200.0);
+  EXPECT_TRUE(op.converged);
+  EXPECT_GE(op.lambda_tps, 0.1);
+  EXPECT_LE(op.lambda_tps, 1.6);
+  EXPECT_NEAR(op.mean_response_s, 30.0, 200.0);
+}
+
+TEST(SweepConvergenceTest, BracketedTargetBeyondToleranceDoesNotConverge) {
+  // The target IS bracketed (an idle NODC run takes a few seconds, a
+  // saturated one much longer than 30 s), but with a single iteration and a
+  // near-zero tolerance no probe can land on the target exactly. The old
+  // code reported converged == true here.
+  const OperatingPoint op = FindRateForResponseTime(
+      QuickConfig(), Pattern::Experiment1(16), /*target_s=*/30.0,
+      /*lo_tps=*/0.1, /*hi_tps=*/1.6, /*num_seeds=*/1, /*iters=*/1,
+      /*tol_s=*/1e-9);
+  EXPECT_FALSE(op.converged);
+  // The best probe is still reported so callers can inspect how close the
+  // unconverged search got.
+  EXPECT_GT(op.mean_response_s, 0.0);
+  EXPECT_GT(op.num_seeds, 0);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,160 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/sim_run.h"
+#include "machine/config.h"
+#include "workload/openworld.h"
+
+namespace wtpgsched {
+namespace {
+
+// Open-world two-class config small enough for unit-test horizons: 64
+// files, Zipf(0.9), 90% interactive (priority 1) / 10% batch (priority 0).
+OpenWorldSpec SmallSpec() {
+  OpenWorldSpec spec;
+  spec.num_files = 64;
+  return spec;
+}
+
+SimConfig OpenWorldConfig(SchedulerKind kind, double rate_tps) {
+  OpenWorldSpec spec = SmallSpec();
+  SimConfig c;
+  c.scheduler = kind;
+  c.machine.num_files = spec.num_files;
+  c.workload.arrival_rate_tps = rate_tps;
+  c.workload.zipf_theta = spec.zipf_theta;
+  c.run.horizon_ms = 300'000;
+  c.run.seed = 5;
+  return c;
+}
+
+bool HasCounter(const std::vector<std::pair<std::string, uint64_t>>& counters,
+                const std::string& name, uint64_t* value = nullptr) {
+  for (const auto& [n, v] : counters) {
+    if (n == name) {
+      if (value != nullptr) *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(TailMetricsTest, OffByDefaultKeepsJsonLegacy) {
+  SimConfig c = OpenWorldConfig(SchedulerKind::kLow, 1.0);
+  const AggregateResult agg =
+      RunAggregate(c, MakeOpenWorldMix(SmallSpec()), /*num_seeds=*/2);
+  EXPECT_FALSE(agg.tail_metrics);
+  const std::string json = agg.ToJson();
+  // No tail or per-class keys may leak into default-mode output — the
+  // kernel-invariance goldens pin this shape.
+  EXPECT_EQ(json.find("p50_response_s"), std::string::npos);
+  EXPECT_EQ(json.find("p99_response_s"), std::string::npos);
+  EXPECT_EQ(json.find("class0."), std::string::npos);
+}
+
+TEST(TailMetricsTest, PerClassPercentilesInJson) {
+  SimConfig c = OpenWorldConfig(SchedulerKind::kLow, 1.0);
+  c.run.tail_metrics = true;
+  const AggregateResult agg =
+      RunAggregate(c, MakeOpenWorldMix(SmallSpec()), /*num_seeds=*/2);
+  EXPECT_TRUE(agg.tail_metrics);
+  ASSERT_EQ(agg.per_class.size(), 2u);
+  EXPECT_EQ(agg.per_class[0].workload_class, 0);
+  EXPECT_EQ(agg.per_class[1].workload_class, 1);
+  EXPECT_GT(agg.per_class[0].completions, 0.0);
+  EXPECT_GT(agg.per_class[1].completions, 0.0);
+  // Percentiles are ordered within each class, and the batch class (heavier
+  // footprint) is slower than interactive.
+  for (const auto& cls : agg.per_class) {
+    EXPECT_LE(cls.p50_response_s, cls.p95_response_s);
+    EXPECT_LE(cls.p95_response_s, cls.p99_response_s);
+  }
+  EXPECT_GT(agg.per_class[1].mean_response_s,
+            agg.per_class[0].mean_response_s);
+  const std::string json = agg.ToJson();
+  EXPECT_NE(json.find("\"p99_response_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"class0.p99_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"class1.completions\":"), std::string::npos);
+}
+
+TEST(TailMetricsTest, AggregateByteIdenticalAcrossJobs) {
+  // The jobs=1 vs jobs=8 determinism contract extends to the tail block and
+  // the per-class aggregation (exact and sketch modes).
+  for (bool sketch : {false, true}) {
+    SimConfig c = OpenWorldConfig(SchedulerKind::kC2pl, 1.0);
+    c.run.tail_metrics = true;
+    c.run.tail_sketch = sketch;
+    c.machine.batch_mpl = 2;
+    const auto mix = MakeOpenWorldMix(SmallSpec());
+    const AggregateResult serial = RunAggregate(c, mix, /*num_seeds=*/4,
+                                                /*jobs=*/1);
+    const AggregateResult fanout = RunAggregate(c, mix, /*num_seeds=*/4,
+                                                /*jobs=*/8);
+    EXPECT_EQ(serial.ToJson(), fanout.ToJson()) << "sketch=" << sketch;
+  }
+}
+
+TEST(TailMetricsTest, SketchTracksExactPerClass) {
+  // Machine-level differential: sketch mode must feed the exact same
+  // stream (counts and means are bit-identical — only the percentile
+  // summary is approximated) and land in the same ballpark on the
+  // percentiles. The interactive stream under batch interference is
+  // bimodal (txns stuck behind a batch scan vs not), which P2's five
+  // markers track only coarsely — the tight distributional accuracy
+  // contract is pinned on unimodal streams in quantile_sketch_test; here
+  // the bounds are deliberately loose (p50 within 2x, tails within 35%).
+  OpenWorldSpec spec = SmallSpec();
+  spec.num_files = 512;  // Moderate contention: milder bimodality.
+  SimConfig c = OpenWorldConfig(SchedulerKind::kLow, 1.5);
+  c.machine.num_files = spec.num_files;
+  c.run.tail_metrics = true;
+  const auto mix = MakeOpenWorldMix(spec);
+  const RunStats exact = RunSimulation(c, mix);
+  c.run.tail_sketch = true;
+  const RunStats sketched = RunSimulation(c, mix);
+  EXPECT_FALSE(exact.sketch_quantiles);
+  EXPECT_TRUE(sketched.sketch_quantiles);
+  // Identical simulations — the sketch only changes the summary stage.
+  EXPECT_EQ(sketched.completions_measured, exact.completions_measured);
+  EXPECT_DOUBLE_EQ(sketched.mean_response_s, exact.mean_response_s);
+  ASSERT_EQ(sketched.per_class.size(), exact.per_class.size());
+  for (size_t i = 0; i < exact.per_class.size(); ++i) {
+    const auto& e = exact.per_class[i];
+    const auto& s = sketched.per_class[i];
+    EXPECT_EQ(s.completions, e.completions);
+    EXPECT_DOUBLE_EQ(s.mean_response_s, e.mean_response_s);
+    EXPECT_GT(s.median_response_s, 0.5 * e.median_response_s)
+        << "class " << e.workload_class;
+    EXPECT_LT(s.median_response_s, 2.0 * e.median_response_s)
+        << "class " << e.workload_class;
+    EXPECT_NEAR(s.p95_response_s, e.p95_response_s, 0.35 * e.p95_response_s)
+        << "class " << e.workload_class;
+    EXPECT_NEAR(s.p99_response_s, e.p99_response_s, 0.35 * e.p99_response_s)
+        << "class " << e.workload_class;
+  }
+  EXPECT_NEAR(sketched.p99_response_s, exact.p99_response_s,
+              0.35 * exact.p99_response_s);
+}
+
+TEST(TailMetricsTest, AdmissionGateCounterAndEffect) {
+  // batch_mpl caps concurrent batch (priority 0) transactions; the gated
+  // startups surface as the admission.gated counter, which must be absent
+  // entirely in ungated runs (golden-compatibility: no new counter names in
+  // default mode).
+  SimConfig gated = OpenWorldConfig(SchedulerKind::kC2pl, 3.0);
+  gated.machine.batch_mpl = 1;
+  const auto mix = MakeOpenWorldMix(SmallSpec());
+  const RunStats with_gate = RunSimulation(gated, mix);
+  uint64_t gated_count = 0;
+  ASSERT_TRUE(HasCounter(with_gate.counters, "admission.gated", &gated_count));
+  EXPECT_GT(gated_count, 0u);
+
+  SimConfig open = gated;
+  open.machine.batch_mpl = 0;
+  const RunStats without_gate = RunSimulation(open, mix);
+  EXPECT_FALSE(HasCounter(without_gate.counters, "admission.gated"));
+}
+
+}  // namespace
+}  // namespace wtpgsched

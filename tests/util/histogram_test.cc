@@ -1,5 +1,7 @@
 #include "util/histogram.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace wtpgsched {
@@ -61,6 +63,18 @@ TEST(HistogramTest, StdDev) {
   Histogram h;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
   EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, StdDevStableAtLargeOffset) {
+  // Catastrophic-cancellation regression: with the old sum-of-squares
+  // formula, E[x^2] - mean^2 at offset 1e9 loses all 16 digits that the
+  // +-1 spread lives in (it returned 0 or even a negative operand to
+  // sqrt). The two-pass form keeps full precision.
+  Histogram h;
+  const double offset = 1e9;
+  for (double v : {offset - 1.0, offset, offset + 1.0}) h.Add(v);
+  const double expected = std::sqrt(2.0 / 3.0);
+  EXPECT_NEAR(h.StdDev(), expected, 1e-9);
 }
 
 TEST(HistogramTest, ClearResets) {

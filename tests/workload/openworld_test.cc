@@ -1,0 +1,100 @@
+#include "workload/openworld.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/pattern.h"
+#include "workload/workload.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(OpenWorldMixTest, TwoClassesWithDeclaredShapes) {
+  OpenWorldSpec spec;
+  spec.num_files = 1000;
+  const std::vector<WeightedPattern> mix = MakeOpenWorldMix(spec);
+  ASSERT_EQ(mix.size(), 2u);
+
+  // Class 0: interactive r -> w, priority 1, 90% share.
+  EXPECT_EQ(mix[0].pattern.steps().size(), 2u);
+  EXPECT_EQ(mix[0].priority, 1);
+  EXPECT_DOUBLE_EQ(mix[0].weight, 0.9);
+  // Class 1: batch 3r + w, priority 0, 10% share.
+  EXPECT_EQ(mix[1].pattern.steps().size(), 4u);
+  EXPECT_EQ(mix[1].priority, 0);
+  EXPECT_DOUBLE_EQ(mix[1].weight, 0.1);
+  // Batch footprint is an order of magnitude heavier than interactive.
+  EXPECT_GT(mix[1].pattern.TotalCost(), 10.0 * mix[0].pattern.TotalCost());
+  // Shared universe.
+  EXPECT_EQ(mix[0].pattern.MaxFileId(), 999);
+  EXPECT_EQ(mix[1].pattern.MaxFileId(), 999);
+}
+
+TEST(OpenWorldMixTest, SkewConcentratesOnHotHead) {
+  OpenWorldSpec spec;
+  spec.num_files = 100'000;
+  spec.zipf_theta = 0.9;
+  const std::vector<WeightedPattern> mix = MakeOpenWorldMix(spec);
+  Rng rng(21);
+  std::map<FileId, int> hits;
+  int total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    for (const StepSpec& step :
+         mix[0].pattern.Instantiate(&rng, 1, ErrorModel{})) {
+      hits[step.file]++;
+      total++;
+    }
+  }
+  // Under uniform draws the hottest 100 of 100k files would see ~0.1% of
+  // accesses; Zipf(0.9) concentrates a double-digit share there.
+  int head_hits = 0;
+  for (const auto& [file, count] : hits) {
+    if (file < 100) head_hits += count;
+  }
+  EXPECT_GT(static_cast<double>(head_hits) / total, 0.10);
+}
+
+TEST(PatternWithZipfTest, ZeroThetaIsByteIdenticalToUniform) {
+  const Pattern base = Pattern::Experiment1(16);
+  const Pattern overlay = base.WithZipf(0.0);
+  Rng a(33), b(33);
+  for (int i = 0; i < 300; ++i) {
+    const auto sa = base.Instantiate(&a, 1, ErrorModel{});
+    const auto sb = overlay.Instantiate(&b, 1, ErrorModel{});
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t s = 0; s < sa.size(); ++s) {
+      EXPECT_EQ(sa[s].file, sb[s].file);
+      EXPECT_EQ(sa[s].declared_cost, sb[s].declared_cost);
+    }
+  }
+}
+
+TEST(PatternWithZipfTest, SkewedDrawsRespectPoolAndDistinctness) {
+  const Pattern skewed = Pattern::Experiment1(16).WithZipf(1.2);
+  Rng rng(44);
+  for (int i = 0; i < 500; ++i) {
+    const auto steps = skewed.Instantiate(&rng, 1, ErrorModel{});
+    ASSERT_EQ(steps.size(), 4u);
+    for (const StepSpec& step : steps) {
+      EXPECT_GE(step.file, 0);
+      EXPECT_LT(step.file, 16);
+    }
+    // Experiment 1 requires F1 != F2 (distinct_within_pool) — the Zipf
+    // overlay must not break the rejection loop even when both draws
+    // cluster on the hot head.
+    EXPECT_NE(steps[0].file, steps[1].file);
+  }
+}
+
+TEST(PatternWithZipfTest, ThetaRecordedOnAllVars) {
+  const Pattern skewed = Pattern::Experiment2().WithZipf(0.7);
+  for (const FileVarSpec& var : skewed.vars()) {
+    EXPECT_DOUBLE_EQ(var.zipf_theta, 0.7);
+  }
+  EXPECT_EQ(skewed.name(), Pattern::Experiment2().name());
+}
+
+}  // namespace
+}  // namespace wtpgsched

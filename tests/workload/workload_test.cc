@@ -1,5 +1,8 @@
 #include "workload/workload.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace wtpgsched {
@@ -115,6 +118,47 @@ TEST(WorkloadMixTest, ClassTagsMatchMixComponent) {
     auto txn = gen.NextTransaction();
     EXPECT_EQ(txn->workload_class, txn->num_steps() == 4 ? 0 : 1);
   }
+}
+
+TEST(WorkloadMixTest, PriorityStampedFromComponent) {
+  std::vector<WeightedPattern> mix;
+  mix.push_back(WeightedPattern{Pattern::Experiment1(16), 1.0, /*priority=*/2});
+  mix.push_back(WeightedPattern{Pattern::Experiment2(), 1.0, /*priority=*/0});
+  WorkloadGenerator gen(std::move(mix), 1.0, 1, ErrorModel{}, 13);
+  for (int i = 0; i < 100; ++i) {
+    auto txn = gen.NextTransaction();
+    EXPECT_EQ(txn->priority, txn->workload_class == 0 ? 2 : 0);
+  }
+}
+
+TEST(PickByWeightTest, InteriorPicksLandInBands) {
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  EXPECT_EQ(PickByWeight(weights, 0.0), 0u);
+  EXPECT_EQ(PickByWeight(weights, 0.99), 0u);
+  EXPECT_EQ(PickByWeight(weights, 1.0), 1u);
+  EXPECT_EQ(PickByWeight(weights, 3.999), 1u);
+  EXPECT_EQ(PickByWeight(weights, 4.0), 2u);
+  EXPECT_EQ(PickByWeight(weights, 9.999), 2u);
+}
+
+TEST(PickByWeightTest, RoundingFallThroughClampsToLastComponent) {
+  // The regression this guards: a draw at the very top of [0, total) can
+  // survive subtracting every weight when the accumulated total exceeds the
+  // same weights subtracted sequentially by a few ulps. The fall-through
+  // must clamp to the LAST component (the draw lies in its band), never
+  // walk off the mix. pick == sum is the exact boundary form of that
+  // residue: with {0.5, 0.5} the arithmetic is exact, the loop ends with
+  // pick == 0.0 (not < 0), and only the clamp produces an answer.
+  EXPECT_EQ(PickByWeight({0.5, 0.5}, 1.0), 1u);
+  // Ten 0.1 weights: the classic non-representable case. Accumulate the
+  // total the same way WorkloadGenerator does and pick just below it —
+  // whether or not the residue goes negative on the final subtraction, the
+  // result must be the last band.
+  const std::vector<double> tenths(10, 0.1);
+  double total = 0.0;
+  for (double w : tenths) total += w;
+  EXPECT_EQ(PickByWeight(tenths, std::nextafter(total, 0.0)), 9u);
+  EXPECT_EQ(PickByWeight(tenths, total), 9u);
 }
 
 }  // namespace

@@ -39,6 +39,15 @@ int main(int argc, char** argv) {
   flags.AddDouble("warmup-ms", 0, "measurement warmup (ms)");
   flags.AddDouble("sigma", 0.0, "declaration error stddev (Experiment 3)");
   flags.AddInt("mpl", 0, "multiprogramming limit (0 = unlimited)");
+  flags.AddDouble("zipf-theta", 0.0,
+                  "Zipf skew for pattern file draws (0 = uniform)");
+  flags.AddInt("batch-mpl", 0,
+               "admission limit on priority-0 transactions (0 = off)");
+  flags.AddBool("tail", false,
+                "report p50/p95/p99 and per-class percentiles");
+  flags.AddBool("tail-sketch", false,
+                "use the bounded-memory P2 sketch for percentiles "
+                "(implies --tail)");
   flags.AddInt("low-k", 2, "LOW's conflict bound K");
   flags.AddInt("max-arrivals", 0, "stop arrivals after N transactions (0 = off)");
   flags.AddBool("verify", false, "check conflict-serializability at the end");
@@ -93,6 +102,17 @@ int main(int argc, char** argv) {
   }
   if (use("mpl") && flags.GetInt("mpl") > 0) {
     config.machine.mpl = static_cast<int>(flags.GetInt("mpl"));
+  }
+  if (use("zipf-theta")) {
+    config.workload.zipf_theta = flags.GetDouble("zipf-theta");
+  }
+  if (use("batch-mpl")) {
+    config.machine.batch_mpl = static_cast<int>(flags.GetInt("batch-mpl"));
+  }
+  if (use("tail") && flags.GetBool("tail")) config.run.tail_metrics = true;
+  if (use("tail-sketch") && flags.GetBool("tail-sketch")) {
+    config.run.tail_metrics = true;
+    config.run.tail_sketch = true;
   }
   ApplyFaultFlags(flags, &config.fault);
   if (!flags.GetString("timeline-csv").empty()) {
@@ -250,6 +270,18 @@ int main(int argc, char** argv) {
   std::printf("mean response      %.2f s (median %.2f, p95 %.2f)\n",
               stats.mean_response_s, stats.median_response_s,
               stats.p95_response_s);
+  if (stats.tail_metrics) {
+    std::printf("p99 response       %.2f s (%s)\n", stats.p99_response_s,
+                stats.sketch_quantiles ? "P2 sketch" : "exact");
+    for (const RunStats::ClassStats& cs : stats.per_class) {
+      std::printf("class %d            %llu done, mean %.2f s, p50 %.2f, "
+                  "p95 %.2f, p99 %.2f\n",
+                  cs.workload_class,
+                  static_cast<unsigned long long>(cs.completions),
+                  cs.mean_response_s, cs.median_response_s,
+                  cs.p95_response_s, cs.p99_response_s);
+    }
+  }
   std::printf("throughput         %.3f TPS\n", stats.throughput_tps);
   std::printf("blocked/delayed    %llu / %llu\n",
               static_cast<unsigned long long>(stats.blocked),
