@@ -17,6 +17,7 @@
 #include "machine/config.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
+#include "util/progress.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -61,6 +62,11 @@ int main(int argc, char** argv) {
                "(0 = hardware concurrency)");
   flags.AddDouble("horizon-ms", 300'000, "simulated milliseconds per replica");
   flags.AddString("out", "BENCH_harness.json", "result file");
+  flags.AddBool("progress", false,
+                "show a replicas-completed status line on stderr (only when "
+                "stderr is a TTY)");
+  flags.AddBool("progress-force", false,
+                "like --progress but writes even when stderr is not a TTY");
   flags.AddBool("help", false, "print usage");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -71,6 +77,11 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help")) {
     std::printf("%s", flags.Help().c_str());
     return 0;
+  }
+  if (flags.GetBool("progress-force")) {
+    SetProgressMode(ProgressMode::kForce);
+  } else if (flags.GetBool("progress")) {
+    SetProgressMode(ProgressMode::kAuto);
   }
 
   const std::vector<double> rates = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4};

@@ -1,0 +1,49 @@
+// micro_telemetry — overhead of the run-health telemetry sampler on a full
+// machine run. The disabled path constructs no Telemetry object at all, so
+// BM_Run/off must match the pre-telemetry baseline (< 1% regression is the
+// acceptance bar); the sampled variants show the cost growing with the
+// sampling frequency, which stays negligible at the 1-10 s periods the
+// tools default to because sampling is O(columns) per period, not per
+// event.
+
+#include <benchmark/benchmark.h>
+
+#include "machine/machine.h"
+
+namespace wtpgsched {
+namespace {
+
+SimConfig BenchConfig(double telemetry_ms) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kLow;
+  config.workload.arrival_rate_tps = 1.0;
+  config.run.horizon_ms = 200'000;
+  config.run.seed = 3;
+  config.run.telemetry_sample_ms = telemetry_ms;
+  return config;
+}
+
+// state.range(0) is the sampling period in ms; 0 disables telemetry.
+void BM_MachineRun(benchmark::State& state) {
+  const SimConfig config =
+      BenchConfig(static_cast<double>(state.range(0)));
+  const Pattern pattern = Pattern::Experiment1(config.machine.num_files);
+  uint64_t completions = 0;
+  for (auto _ : state) {
+    Machine machine(config, pattern);
+    completions += machine.Run().completions;
+  }
+  benchmark::DoNotOptimize(completions);
+  state.counters["completions_per_iter"] = benchmark::Counter(
+      static_cast<double>(completions),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MachineRun)
+    ->Arg(0)        // telemetry off: the golden-path baseline
+    ->Arg(10'000)   // tool default when only an artifact flag is given
+    ->Arg(1'000)    // aggressive sampling
+    ->Arg(100)      // pathological: 10 Hz sim-time sampling
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wtpgsched

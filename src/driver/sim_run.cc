@@ -7,6 +7,7 @@
 #include "metrics/counters.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
+#include "util/progress.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -87,9 +88,13 @@ std::vector<RunStats> RunReplicasImpl(const std::vector<SimConfig>& configs,
                                       const Workload& workload, int jobs) {
   std::vector<RunStats> results(configs.size());
   const int workers = ResolveJobs(jobs);
+  // Inert unless a tool enabled --progress (and stderr is a TTY or the
+  // mode is forced); see util/progress.h.
+  ProgressMeter progress("replicas", configs.size());
   ParallelFor(workers, configs.size(), [&](size_t i) {
     Machine machine(configs[i], workload);
     results[i] = machine.Run();
+    progress.Tick();
   });
   return results;
 }

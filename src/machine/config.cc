@@ -111,6 +111,13 @@ Status SimConfig::Validate() const {
   if (run.timeline_sample_ms < 0.0) {
     return Status::InvalidArgument("timeline_sample_ms must be >= 0");
   }
+  if (run.telemetry_sample_ms < 0.0) {
+    return Status::InvalidArgument("telemetry_sample_ms must be >= 0");
+  }
+  if (run.telemetry_sample_ms > 0.0 && run.telemetry_capacity == 0) {
+    return Status::InvalidArgument(
+        "telemetry_capacity must be > 0 when telemetry is enabled");
+  }
   if (run.restart_delay_ms < 0.0) {
     return Status::InvalidArgument("restart_delay_ms must be >= 0");
   }
@@ -181,6 +188,8 @@ std::string RunToJson(const RunSection& r) {
       .Add("admission_retry_limit", r.admission_retry_limit)
       .Add("restart_delay_ms", r.restart_delay_ms)
       .Add("timeline_sample_ms", r.timeline_sample_ms)
+      .Add("telemetry_sample_ms", r.telemetry_sample_ms)
+      .Add("telemetry_capacity", r.telemetry_capacity)
       .Add("trace_enabled", r.trace_enabled)
       .Add("trace_capacity", r.trace_capacity)
       .Add("tail_metrics", r.tail_metrics)
@@ -321,6 +330,10 @@ Status ParseRun(const JsonValue& obj, RunSection* r) {
       s = ReadDouble("run", key, v, &r->restart_delay_ms);
     } else if (key == "timeline_sample_ms") {
       s = ReadDouble("run", key, v, &r->timeline_sample_ms);
+    } else if (key == "telemetry_sample_ms") {
+      s = ReadDouble("run", key, v, &r->telemetry_sample_ms);
+    } else if (key == "telemetry_capacity") {
+      s = ReadUint64("run", key, v, &r->telemetry_capacity);
     } else if (key == "trace_enabled") {
       s = ReadBool("run", key, v, &r->trace_enabled);
     } else if (key == "trace_capacity") {

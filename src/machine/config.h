@@ -95,6 +95,13 @@ struct RunSection {
   // (immediate restarts re-conflict and overload the data nodes; classic
   // CC-performance models restart after a think-time, e.g. Agrawal et al.).
   double restart_delay_ms = 5000.0;
+  // Run-health telemetry (src/telemetry/): when > 0, every registered gauge
+  // is sampled each telemetry_sample_ms of sim time into a bounded columnar
+  // ring of telemetry_capacity rows, the regime detectors run online, and
+  // health.* counters appear in RunStats. Off by default: a disabled run
+  // constructs no telemetry at all and stays byte-identical to the goldens.
+  double telemetry_sample_ms = 0.0;
+  uint64_t telemetry_capacity = 1 << 16;
   // When > 0, sample a system-state timeline every this many milliseconds
   // (Machine::timeline()).
   double timeline_sample_ms = 0.0;

@@ -7,6 +7,7 @@
 #include "sched/low_lb.h"
 #include "sched/scheduler_factory.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace wtpgsched {
 
@@ -84,6 +85,120 @@ Machine::Machine(const SimConfig& config, WorkloadGenerator workload,
   if (config.machine.batch_mpl > 0) {
     scheduler_->set_admission(AdmissionControl{config.machine.batch_mpl});
   }
+  // Run-health telemetry. The legacy timeline is a view over the same
+  // store, so timeline_sample_ms alone also constructs the bundle (at the
+  // legacy period); telemetry_sample_ms wins when both are set, and only
+  // it opts the run into health.* counters (see Run()).
+  const double sample_ms = config.run.telemetry_sample_ms > 0.0
+                               ? config.run.telemetry_sample_ms
+                               : config.run.timeline_sample_ms;
+  if (sample_ms > 0.0) {
+    // The configured capacity is an upper bound; a finite horizon needs at
+    // most horizon/period rows, so clamp to that and keep the per-replica
+    // allocation proportional to the run instead of the default ring size.
+    const uint64_t expected =
+        static_cast<uint64_t>(config.run.horizon_ms / sample_ms) + 1;
+    telemetry_ = std::make_unique<Telemetry>(
+        MsToTime(sample_ms),
+        static_cast<size_t>(
+            std::min(config.run.telemetry_capacity, expected)));
+    RegisterMachineGauges();
+    telemetry_->Seal();
+    timeline_.Attach(&telemetry_->store());
+  }
+}
+
+void Machine::RegisterMachineGauges() {
+  GaugeRegistry& gauges = telemetry_->gauges();
+  // Registration order is the store's column order; the legacy timeline
+  // schema reads its six columns by name, so renames here are breaking.
+  gauges.Register("machine.in_flight", [this] {
+    return static_cast<double>(txns_.size());
+  });
+  scheduler_->RegisterGauges(&gauges);
+  gauges.Register("machine.parked", [this] {
+    return static_cast<double>(ParkedCount());
+  });
+  gauges.Register("cn.queue", [this] {
+    return static_cast<double>(cn_.queue_length());
+  });
+  gauges.Register("dpn.backlog_objects", [this] {
+    double backlog = 0.0;
+    for (const auto& dpn : dpns_) backlog += dpn->BacklogObjects();
+    return backlog;
+  });
+  gauges.Register("machine.commits", [this] {
+    return static_cast<double>(stats_.completions_so_far());
+  });
+  // Cumulative restarts (validation failures, deadlock victims, fault
+  // aborts): resolved once — the registry's deque keeps the ref stable.
+  const uint64_t* restarts = &stats_.counters().Counter("restarts");
+  gauges.Register("machine.restarts", [restarts] {
+    return static_cast<double>(*restarts);
+  });
+  gauges.Register("admission.gated", [this] {
+    return static_cast<double>(scheduler_->admission_gated());
+  });
+  gauges.Register("cn.utilization", [this] { return cn_.Utilization(); });
+  gauges.Register("lock.waiters", [this] {
+    size_t waiters = 0;
+    for (const auto& [file, queue] : file_waiters_) {
+      (void)file;
+      waiters += queue.size();
+    }
+    return static_cast<double>(waiters);
+  });
+  gauges.Register("wait.max_age_s", [this] { return WaitAges().first; });
+  gauges.Register("wait.mean_age_s", [this] { return WaitAges().second; });
+  for (int i = 0; i < config_.machine.num_nodes; ++i) {
+    const auto node = static_cast<size_t>(i);
+    gauges.Register(StrCat("dpn", i, ".utilization"), [this, node] {
+      return dpns_[node]->Utilization();
+    });
+    gauges.Register(StrCat("dpn", i, ".backlog_objects"), [this, node] {
+      return dpns_[node]->BacklogObjects();
+    });
+  }
+  if (faults_enabled_) {
+    gauges.Register("fault.down_nodes", [this] {
+      size_t down = 0;
+      for (const auto& dpn : dpns_) {
+        if (!dpn->up()) ++down;
+      }
+      return static_cast<double>(down);
+    });
+  }
+}
+
+uint64_t Machine::ParkedCount() const {
+  uint64_t parked = admission_wait_.size() + delayed_.size();
+  for (const auto& [file, waiters] : file_waiters_) {
+    (void)file;
+    parked += waiters.size();
+  }
+  return parked;
+}
+
+std::pair<double, double> Machine::WaitAges() const {
+  const SimTime now = sim_.Now();
+  double max_age = 0.0;
+  double total_age = 0.0;
+  size_t count = 0;
+  auto visit = [&](TxnId id) {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) return;
+    const double age = TimeToSeconds(now - it->second->arrival_time);
+    max_age = std::max(max_age, age);
+    total_age += age;
+    ++count;
+  };
+  for (TxnId id : admission_wait_) visit(id);
+  for (TxnId id : delayed_) visit(id);
+  for (const auto& [file, waiters] : file_waiters_) {
+    (void)file;
+    for (TxnId id : waiters) visit(id);
+  }
+  return {max_age, count == 0 ? 0.0 : total_age / static_cast<double>(count)};
 }
 
 double Machine::BacklogObjectsForFile(FileId file) const {
@@ -114,7 +229,7 @@ RunStats Machine::Run() {
     }
   }
   ScheduleNextArrival();
-  ScheduleTimelineSample();
+  ScheduleTelemetrySample();
   sim_.RunUntil(config_.horizon());
 
   double mean_util = 0.0;
@@ -131,6 +246,12 @@ RunStats Machine::Run() {
     stats_.counters().Counter("admission.gated") = scheduler_->admission_gated();
   }
   if (trace_.enabled()) trace_.ExportCounters(&stats_.counters());
+  // health.* counters are gated on the telemetry config key (not on the
+  // bundle existing): a legacy timeline-only run keeps its counter set —
+  // and therefore its JSON — byte-identical to prior versions.
+  if (telemetry_ != nullptr && config_.run.telemetry_sample_ms > 0.0) {
+    telemetry_->ExportHealthCounters(&stats_.counters());
+  }
   return stats_.Finalize(cn_.Utilization(), mean_util, max_util,
                          in_flight());
 }
@@ -721,33 +842,20 @@ void Machine::RetryAdmissions() {
   if (!admission_wait_.empty()) EnsureFallbackTimer();
 }
 
-// --- Timeline sampling ---
+// --- Telemetry sampling ---
 
-void Machine::ScheduleTimelineSample() {
-  if (config_.run.timeline_sample_ms <= 0.0) return;
-  const SimTime period = MsToTime(config_.run.timeline_sample_ms);
+void Machine::ScheduleTelemetrySample() {
+  if (telemetry_ == nullptr) return;
+  const SimTime period = telemetry_->period();
+  // Same schedule the legacy timeline used: samples land at exact
+  // multiples of the period, the last one at the horizon inclusive.
   if (sim_.Now() + period > config_.horizon()) return;
-  sim_.ScheduleAfter(period, [this] { TakeTimelineSample(); });
+  sim_.ScheduleAfter(period, [this] { TakeTelemetrySample(); });
 }
 
-void Machine::TakeTimelineSample() {
-  TimelineRecorder::Sample sample;
-  sample.time = sim_.Now();
-  sample.in_flight = txns_.size();
-  sample.active = scheduler_->num_active();
-  uint64_t parked = admission_wait_.size() + delayed_.size();
-  for (const auto& [file, waiters] : file_waiters_) {
-    (void)file;
-    parked += waiters.size();
-  }
-  sample.parked = parked;
-  sample.cn_queue = static_cast<double>(cn_.queue_length());
-  double backlog = 0.0;
-  for (const auto& dpn : dpns_) backlog += dpn->BacklogObjects();
-  sample.dpn_backlog_objects = backlog;
-  sample.completions = stats_.completions_so_far();
-  timeline_.Record(sample);
-  ScheduleTimelineSample();
+void Machine::TakeTelemetrySample() {
+  telemetry_->Sample(sim_.Now());
+  ScheduleTelemetrySample();
 }
 
 void Machine::EnsureFallbackTimer() {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "analysis/schedule_log.h"
@@ -19,6 +20,7 @@
 #include "model/transaction.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace_recorder.h"
 #include "util/random.h"
 #include "workload/workload.h"
@@ -70,8 +72,15 @@ class Machine {
   const ScheduleLog& schedule_log() const { return log_; }
   const SimConfig& config() const { return config_; }
 
-  // Time-series samples (empty unless config.run.timeline_sample_ms > 0).
+  // Time-series samples (empty unless config.run.timeline_sample_ms or
+  // telemetry_sample_ms is > 0). A legacy-schema view over the telemetry
+  // store below.
   const TimelineRecorder& timeline() const { return timeline_; }
+
+  // Run-health telemetry: the sampled gauge store and detectors. Null when
+  // both telemetry_sample_ms and timeline_sample_ms are 0 — a disabled run
+  // pays nothing.
+  const Telemetry* telemetry() const { return telemetry_.get(); }
 
   // Structured event trace (empty unless config.run.trace_enabled). Holds the
   // most recent config.run.trace_capacity events; per-type counts cover the
@@ -136,9 +145,15 @@ class Machine {
   void RetryAdmissions();
   void EnsureFallbackTimer();
 
-  // --- Timeline sampling ---
-  void ScheduleTimelineSample();
-  void TakeTimelineSample();
+  // --- Telemetry sampling ---
+  // Registers the machine-level gauges (in-flight, parked, CN queue,
+  // per-DPN utilization/backlog, wait ages, ...) plus the scheduler's own.
+  void RegisterMachineGauges();
+  void ScheduleTelemetrySample();
+  void TakeTelemetrySample();
+  uint64_t ParkedCount() const;
+  // (max, mean) age in seconds over all parked transactions.
+  std::pair<double, double> WaitAges() const;
 
   SimConfig config_;
   Simulator sim_;
@@ -149,6 +164,7 @@ class Machine {
   std::vector<std::unique_ptr<Dpn>> dpns_;
   StatsCollector stats_;
   ScheduleLog log_;
+  std::unique_ptr<Telemetry> telemetry_;
   TimelineRecorder timeline_;
   TraceRecorder trace_;
 

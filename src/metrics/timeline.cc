@@ -7,9 +7,21 @@
 
 namespace wtpgsched {
 
+void TimelineRecorder::Attach(const TelemetryStore* store) {
+  store_ = store;
+  in_flight_col_ = store->ColumnIndex(kInFlightGauge);
+  active_col_ = store->ColumnIndex(kActiveGauge);
+  parked_col_ = store->ColumnIndex(kParkedGauge);
+  cn_queue_col_ = store->ColumnIndex(kCnQueueGauge);
+  backlog_col_ = store->ColumnIndex(kBacklogGauge);
+  completions_col_ = store->ColumnIndex(kCompletionsGauge);
+}
+
 uint64_t TimelineRecorder::PeakInFlight() const {
   uint64_t peak = 0;
-  for (const Sample& s : samples_) peak = std::max(peak, s.in_flight);
+  for (size_t row = 0; row < size(); ++row) {
+    peak = std::max(peak, in_flight(row));
+  }
   return peak;
 }
 
@@ -19,12 +31,12 @@ Status TimelineRecorder::WriteCsv(const std::string& path) const {
   if (!status.ok()) return status;
   writer.WriteHeader({"time_s", "in_flight", "active", "parked", "cn_queue",
                       "dpn_backlog_objects", "completions"});
-  for (const Sample& s : samples_) {
-    writer.WriteRow({FormatDouble(TimeToSeconds(s.time), 1),
-                     StrCat(s.in_flight), StrCat(s.active), StrCat(s.parked),
-                     FormatDouble(s.cn_queue, 1),
-                     FormatDouble(s.dpn_backlog_objects, 2),
-                     StrCat(s.completions)});
+  for (size_t row = 0; row < size(); ++row) {
+    writer.WriteRow({FormatDouble(TimeToSeconds(time(row)), 1),
+                     StrCat(in_flight(row)), StrCat(active(row)),
+                     StrCat(parked(row)), FormatDouble(cn_queue(row), 1),
+                     FormatDouble(dpn_backlog_objects(row), 2),
+                     StrCat(completions(row))});
   }
   return writer.Close();
 }

@@ -1,34 +1,51 @@
 #ifndef WTPG_SCHED_METRICS_TIMELINE_H_
 #define WTPG_SCHED_METRICS_TIMELINE_H_
 
+#include <cstdint>
 #include <string>
-#include <vector>
 
 #include "sim/time.h"
+#include "telemetry/gauge_registry.h"
 #include "util/status.h"
 
 namespace wtpgsched {
 
-// Time-series samples of system state, recorded at a fixed period during a
-// run (opt-in via SimConfig::timeline_sample_ms). Useful for seeing
-// saturation onset, thrashing, and admission stalls that aggregate numbers
-// hide.
+// Legacy-schema view over the telemetry store: the seven-field system-state
+// timeline (opt-in via SimConfig::timeline_sample_ms) is now just six of
+// the machine's registered gauges, sampled by the telemetry subsystem; this
+// view resolves those columns by name and keeps the historical CSV schema
+// byte-compatible. Useful for seeing saturation onset, thrashing, and
+// admission stalls that aggregate numbers hide.
 class TimelineRecorder {
  public:
-  struct Sample {
-    SimTime time = 0;
-    uint64_t in_flight = 0;        // Arrived, not yet committed.
-    uint64_t active = 0;           // Admitted by the scheduler.
-    uint64_t parked = 0;           // Blocked + delayed + admission-waiting.
-    double cn_queue = 0.0;         // Control-node queue length.
-    double dpn_backlog_objects = 0.0;  // Total scan backlog.
-    uint64_t completions = 0;      // Cumulative commits.
-  };
+  // The gauge columns the legacy schema maps onto.
+  static constexpr const char* kInFlightGauge = "machine.in_flight";
+  static constexpr const char* kActiveGauge = "sched.active";
+  static constexpr const char* kParkedGauge = "machine.parked";
+  static constexpr const char* kCnQueueGauge = "cn.queue";
+  static constexpr const char* kBacklogGauge = "dpn.backlog_objects";
+  static constexpr const char* kCompletionsGauge = "machine.commits";
 
-  void Record(Sample sample) { samples_.push_back(sample); }
+  // Binds the view to a sealed store, resolving the legacy columns by
+  // gauge name. A column the store lacks reads as zero.
+  void Attach(const TelemetryStore* store);
 
-  const std::vector<Sample>& samples() const { return samples_; }
-  bool empty() const { return samples_.empty(); }
+  bool attached() const { return store_ != nullptr; }
+  size_t size() const { return store_ == nullptr ? 0 : store_->size(); }
+  bool empty() const { return size() == 0; }
+
+  // Per-row field accessors (row < size(), oldest first).
+  SimTime time(size_t row) const { return store_->time(row); }
+  uint64_t in_flight(size_t row) const { return Count(row, in_flight_col_); }
+  uint64_t active(size_t row) const { return Count(row, active_col_); }
+  uint64_t parked(size_t row) const { return Count(row, parked_col_); }
+  double cn_queue(size_t row) const { return Value(row, cn_queue_col_); }
+  double dpn_backlog_objects(size_t row) const {
+    return Value(row, backlog_col_);
+  }
+  uint64_t completions(size_t row) const {
+    return Count(row, completions_col_);
+  }
 
   // Largest in-flight population seen.
   uint64_t PeakInFlight() const;
@@ -37,7 +54,20 @@ class TimelineRecorder {
   Status WriteCsv(const std::string& path) const;
 
  private:
-  std::vector<Sample> samples_;
+  double Value(size_t row, int col) const {
+    return col < 0 ? 0.0 : store_->value(row, static_cast<size_t>(col));
+  }
+  uint64_t Count(size_t row, int col) const {
+    return static_cast<uint64_t>(Value(row, col));
+  }
+
+  const TelemetryStore* store_ = nullptr;
+  int in_flight_col_ = -1;
+  int active_col_ = -1;
+  int parked_col_ = -1;
+  int cn_queue_col_ = -1;
+  int backlog_col_ = -1;
+  int completions_col_ = -1;
 };
 
 }  // namespace wtpgsched

@@ -63,6 +63,13 @@ void C2plScheduler::ExportCounters(CounterRegistry* registry) const {
   registry->Counter("c2pl.predicted_deadlocks") += predicted_deadlocks_;
 }
 
+void C2plScheduler::RegisterGauges(GaugeRegistry* gauges) const {
+  WtpgSchedulerBase::RegisterGauges(gauges);
+  gauges->Register("c2pl.predicted_deadlocks", [this] {
+    return static_cast<double>(predicted_deadlocks_);
+  });
+}
+
 void C2plScheduler::AfterGrant(Transaction& txn, int step) {
   const FileId file = txn.step(step).file;
   OrientAfterGrant(txn, file, txn.RequestModeAt(step));

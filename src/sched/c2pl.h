@@ -37,6 +37,7 @@ class C2plScheduler : public WtpgSchedulerBase {
   }
 
   void ExportCounters(CounterRegistry* registry) const override;
+  void RegisterGauges(GaugeRegistry* gauges) const override;
 
  protected:
   Decision DecideStartup(Transaction& txn) override;

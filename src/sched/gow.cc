@@ -124,6 +124,13 @@ void GowScheduler::ExportCounters(CounterRegistry* registry) const {
   registry->Counter("gow.chain_rejections") += chain_rejections_;
 }
 
+void GowScheduler::RegisterGauges(GaugeRegistry* gauges) const {
+  WtpgSchedulerBase::RegisterGauges(gauges);
+  gauges->Register("gow.chain_rejections", [this] {
+    return static_cast<double>(chain_rejections_);
+  });
+}
+
 void GowScheduler::AfterGrant(Transaction& txn, int step) {
   // Phase4.
   const FileId file = txn.step(step).file;

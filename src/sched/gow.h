@@ -38,6 +38,7 @@ class GowScheduler : public WtpgSchedulerBase {
   }
 
   void ExportCounters(CounterRegistry* registry) const override;
+  void RegisterGauges(GaugeRegistry* gauges) const override;
 
  protected:
   Decision DecideStartup(Transaction& txn) override;

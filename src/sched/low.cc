@@ -138,4 +138,14 @@ void LowScheduler::ExportCounters(CounterRegistry* registry) const {
   registry->Counter("low.deadlock_delays") += deadlock_delays_;
 }
 
+void LowScheduler::RegisterGauges(GaugeRegistry* gauges) const {
+  WtpgSchedulerBase::RegisterGauges(gauges);
+  gauges->Register("low.k_rejections", [this] {
+    return static_cast<double>(admission_k_rejections_);
+  });
+  gauges->Register("low.deadlock_delays", [this] {
+    return static_cast<double>(deadlock_delays_);
+  });
+}
+
 }  // namespace wtpgsched

@@ -39,6 +39,7 @@ class LowScheduler : public WtpgSchedulerBase {
   uint64_t deadlock_delays() const { return deadlock_delays_; }
 
   void ExportCounters(CounterRegistry* registry) const override;
+  void RegisterGauges(GaugeRegistry* gauges) const override;
 
  protected:
   Decision DecideStartup(Transaction& txn) override;

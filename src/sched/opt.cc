@@ -69,4 +69,11 @@ void OptScheduler::ExportCounters(CounterRegistry* registry) const {
   registry->Counter("opt.validation_failures") += validation_failures_;
 }
 
+void OptScheduler::RegisterGauges(GaugeRegistry* gauges) const {
+  Scheduler::RegisterGauges(gauges);
+  gauges->Register("opt.validation_failures", [this] {
+    return static_cast<double>(validation_failures_);
+  });
+}
+
 }  // namespace wtpgsched

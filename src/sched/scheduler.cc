@@ -69,6 +69,17 @@ bool Scheduler::ValidateAtCommit(Transaction& txn) {
   return true;
 }
 
+void Scheduler::RegisterGauges(GaugeRegistry* gauges) const {
+  gauges->Register("sched.active",
+                   [this] { return static_cast<double>(active_.size()); });
+  gauges->Register("sched.active_low", [this] {
+    return static_cast<double>(active_low_priority_);
+  });
+  gauges->Register("lock.locked_files", [this] {
+    return static_cast<double>(lock_table_.num_locked_files());
+  });
+}
+
 std::vector<FileId> Scheduler::OnCommit(Transaction& txn) {
   WTPG_CHECK(active_.erase(txn.id()) == 1)
       << "OnCommit for inactive T" << txn.id();
@@ -127,6 +138,16 @@ void WtpgSchedulerBase::AddToGraph(Transaction& txn) {
         << "T" << txn.id() << " already pending on file " << file;
     pending.insert(pos, PendingAccess{txn.id(), mode});
   }
+}
+
+void WtpgSchedulerBase::RegisterGauges(GaugeRegistry* gauges) const {
+  Scheduler::RegisterGauges(gauges);
+  gauges->Register("wtpg.nodes", [this] {
+    return static_cast<double>(graph_.num_nodes());
+  });
+  gauges->Register("wtpg.edges", [this] {
+    return static_cast<double>(graph_.num_edges());
+  });
 }
 
 void WtpgSchedulerBase::OnStepCompleted(Transaction& txn, int step) {

@@ -9,6 +9,7 @@
 #include "model/transaction.h"
 #include "model/types.h"
 #include "sim/time.h"
+#include "telemetry/gauge_registry.h"
 #include "trace/trace_recorder.h"
 #include "wtpg/wtpg.h"
 
@@ -149,6 +150,13 @@ class Scheduler {
     (void)registry;
   }
 
+  // Registers this scheduler's live gauges (active MPL, lock-table size,
+  // WTPG size, running decision counts) for periodic sampling; called once
+  // during machine construction when telemetry is enabled. Overrides must
+  // call the base first so "sched.*" columns precede scheduler-specific
+  // ones.
+  virtual void RegisterGauges(GaugeRegistry* gauges) const;
+
  protected:
   // --- Template-method hooks ---
 
@@ -190,6 +198,9 @@ class WtpgSchedulerBase : public Scheduler {
   const Wtpg& graph() const { return graph_; }
 
   void OnStepCompleted(Transaction& txn, int step) override;
+
+  // Adds the precedence-graph size gauges shared by C2PL / GOW / LOW.
+  void RegisterGauges(GaugeRegistry* gauges) const override;
 
  protected:
   // A declared-but-ungranted access: one entry per (file, active txn) pair,

@@ -33,6 +33,13 @@ class TwoPlScheduler : public Scheduler {
     registry->Counter("twopl.deadlock_aborts") += deadlock_aborts_;
   }
 
+  void RegisterGauges(GaugeRegistry* gauges) const override {
+    Scheduler::RegisterGauges(gauges);
+    gauges->Register("twopl.deadlock_aborts", [this] {
+      return static_cast<double>(deadlock_aborts_);
+    });
+  }
+
  protected:
   Decision DecideStartup(Transaction& txn) override;
   Decision DecideLock(Transaction& txn, int step) override;

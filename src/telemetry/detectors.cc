@@ -1,0 +1,58 @@
+#include "telemetry/detectors.h"
+
+namespace wtpgsched {
+
+HealthFlags HealthDetectors::Update(const DetectorInput& in) {
+  const size_t w = config_.window;
+  history_.push_back(in);
+  if (history_.size() > 2 * w) history_.pop_front();
+
+  HealthFlags flags;
+
+  // Convoy/starvation is instantaneous: the oldest waiter has been stuck
+  // far longer than the average waiter, i.e. the queue drains around it.
+  if (in.waiters >= config_.convoy_min_waiters &&
+      in.max_wait_age_s >= config_.convoy_min_age_s &&
+      in.mean_wait_age_s > 0.0 &&
+      in.max_wait_age_s >= config_.convoy_ratio * in.mean_wait_age_s) {
+    flags.convoy = 1.0;
+    ++convoy_windows_;
+  }
+
+  if (history_.size() < 2 * w) return flags;
+
+  // Window-over-window comparison: [0, w) is the previous window,
+  // [w, 2w) the current one.
+  double prev_active = 0.0, cur_active = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    prev_active += history_[i].active;
+    cur_active += history_[w + i].active;
+  }
+  prev_active /= static_cast<double>(w);
+  cur_active /= static_cast<double>(w);
+
+  // Cumulative counters: per-window deltas.
+  const double prev_commits = history_[w - 1].commits - history_[0].commits;
+  const double cur_commits =
+      history_[2 * w - 1].commits - history_[w - 1].commits;
+  const double cur_aborts =
+      history_[2 * w - 1].aborts - history_[w - 1].aborts;
+
+  // Thrashing: concurrency up, throughput down — past the DC knee.
+  if (prev_commits > 0.0 && prev_active > 0.0 &&
+      cur_active >= config_.thrash_mpl_rise * prev_active &&
+      cur_commits <= config_.thrash_tput_drop * prev_commits) {
+    flags.thrashing = 1.0;
+    ++thrashing_windows_;
+  }
+
+  // Restart storm: the system aborts more than it commits.
+  if (cur_aborts >= config_.storm_min_aborts && cur_aborts > cur_commits) {
+    flags.restart_storm = 1.0;
+    ++storm_windows_;
+  }
+
+  return flags;
+}
+
+}  // namespace wtpgsched

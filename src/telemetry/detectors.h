@@ -1,0 +1,92 @@
+#ifndef WTPG_SCHED_TELEMETRY_DETECTORS_H_
+#define WTPG_SCHED_TELEMETRY_DETECTORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace wtpgsched {
+
+// Tuning knobs for the online regime detectors. Thresholds are
+// deliberately conservative: a single noisy sample must not flip a
+// verdict, so each detector compares a sliding window against the
+// previous window and a run-level verdict requires `min_windows`
+// flagged windows over the whole run.
+struct DetectorConfig {
+  // Samples per comparison window. Detectors need 2*window samples
+  // before they emit anything.
+  size_t window = 8;
+  // Thrashing (the paper's data-contention knee gone unstable): mean
+  // active MPL rose by >= this factor window-over-window...
+  double thrash_mpl_rise = 1.10;
+  // ...while the commit rate fell to <= this fraction of the previous
+  // window's rate (which must have been non-zero).
+  double thrash_tput_drop = 0.90;
+  // Convoy/starvation: the oldest waiter's age exceeds the mean waiter
+  // age by this ratio, with at least `convoy_min_waiters` transactions
+  // waiting and the oldest at least `convoy_min_age_s` old.
+  double convoy_ratio = 4.0;
+  double convoy_min_age_s = 1.0;
+  double convoy_min_waiters = 4.0;
+  // Restart storm: aborts (injected + conflict restarts) outnumber
+  // commits over the window, with at least this many aborts so an idle
+  // tail does not trigger.
+  double storm_min_aborts = 4.0;
+  // Windows that must flag before the per-run verdict turns true.
+  size_t min_windows = 3;
+};
+
+// One sampled observation, fed in sim-time order.
+struct DetectorInput {
+  double active = 0.0;          // transactions currently executing
+  double commits = 0.0;         // cumulative commit count
+  double aborts = 0.0;          // cumulative aborts + restarts
+  double max_wait_age_s = 0.0;  // oldest parked/waiting txn age
+  double mean_wait_age_s = 0.0; // mean parked/waiting txn age
+  double waiters = 0.0;         // parked/waiting txn count
+};
+
+// Per-sample detector outputs (1.0 = regime currently flagged), exported
+// as the health.* gauge columns.
+struct HealthFlags {
+  double thrashing = 0.0;
+  double convoy = 0.0;
+  double restart_storm = 0.0;
+};
+
+// Online run-health detectors over the sampled series. Update() is O(1)
+// amortized per sample (a bounded deque of the last 2*window inputs).
+class HealthDetectors {
+ public:
+  explicit HealthDetectors(const DetectorConfig& config = DetectorConfig())
+      : config_(config) {}
+
+  // Feeds one sample; returns the current per-regime flags.
+  HealthFlags Update(const DetectorInput& in);
+
+  // Count of flagged windows per regime (every sample whose window
+  // comparison flags counts once).
+  uint64_t thrashing_windows() const { return thrashing_windows_; }
+  uint64_t convoy_windows() const { return convoy_windows_; }
+  uint64_t storm_windows() const { return storm_windows_; }
+
+  // Per-run verdicts: the regime was flagged persistently.
+  bool thrashing_verdict() const {
+    return thrashing_windows_ >= config_.min_windows;
+  }
+  bool convoy_verdict() const { return convoy_windows_ >= config_.min_windows; }
+  bool storm_verdict() const { return storm_windows_ >= config_.min_windows; }
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  std::deque<DetectorInput> history_;  // at most 2 * config_.window entries
+  uint64_t thrashing_windows_ = 0;
+  uint64_t convoy_windows_ = 0;
+  uint64_t storm_windows_ = 0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TELEMETRY_DETECTORS_H_

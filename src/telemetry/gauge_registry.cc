@@ -1,0 +1,46 @@
+#include "telemetry/gauge_registry.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wtpgsched {
+
+void GaugeRegistry::Register(std::string name, Probe probe) {
+  for (const std::string& existing : names_) {
+    (void)existing;
+    assert(existing != name && "duplicate gauge name");
+  }
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+TelemetryStore::TelemetryStore(std::vector<std::string> names, size_t capacity)
+    : names_(std::move(names)), capacity_(capacity == 0 ? 1 : capacity) {
+  for (size_t i = 0; i < names_.size(); ++i) index_.emplace(names_[i], i);
+  times_.resize(capacity_);
+  values_.resize(capacity_ * names_.size());
+}
+
+int TelemetryStore::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void TelemetryStore::Append(SimTime time, const std::vector<double>& row) {
+  assert(row.size() == names_.size());
+  size_t phys;
+  if (size_ < capacity_) {
+    phys = (head_ + size_) % capacity_;
+    ++size_;
+  } else {
+    phys = head_;
+    head_ = (head_ + 1) % capacity_;
+  }
+  times_[phys] = time;
+  for (size_t col = 0; col < row.size(); ++col) {
+    values_[col * capacity_ + phys] = row[col];
+  }
+  ++total_rows_;
+}
+
+}  // namespace wtpgsched

@@ -1,0 +1,88 @@
+#ifndef WTPG_SCHED_TELEMETRY_GAUGE_REGISTRY_H_
+#define WTPG_SCHED_TELEMETRY_GAUGE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace wtpgsched {
+
+// Named read-only probes into live simulation state. The machine, lock
+// table, schedulers and fault layer register gauges before the run; the
+// telemetry sampler evaluates every probe at a fixed sim-time period and
+// appends one row to the TelemetryStore below. Registration order is the
+// column order everywhere downstream (CSV, JSONL, Chrome counter tracks),
+// so it must be deterministic for a given configuration — register from
+// constructors, never from event handlers.
+class GaugeRegistry {
+ public:
+  using Probe = std::function<double()>;
+
+  // Registers `probe` under `name`. Names must be unique; duplicate
+  // registration is a programming error (checked).
+  void Register(std::string name, Probe probe);
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Evaluates gauge `i` against live state.
+  double Sample(size_t i) const { return probes_[i](); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Probe> probes_;
+};
+
+// Bounded columnar ring storage for sampled gauge rows: one shared time
+// column plus one value column per series, each a flat array indexed
+// modulo the capacity. When the ring is full the oldest row is overwritten
+// (dropped() counts the overwritten rows), so a long run keeps the most
+// recent window at O(capacity * columns) memory.
+class TelemetryStore {
+ public:
+  TelemetryStore(std::vector<std::string> names, size_t capacity);
+
+  size_t num_columns() const { return names_.size(); }
+  const std::string& name(size_t col) const { return names_[col]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Column index of `name`, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  // Appends one row; `row` must hold num_columns() values.
+  void Append(SimTime time, const std::vector<double>& row);
+
+  // Rows currently held (<= capacity), oldest first.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  // Rows appended over the whole run / rows overwritten by the ring.
+  uint64_t total_rows() const { return total_rows_; }
+  uint64_t dropped() const { return total_rows_ - size_; }
+
+  SimTime time(size_t row) const { return times_[Physical(row)]; }
+  double value(size_t row, size_t col) const {
+    return values_[col * capacity_ + Physical(row)];
+  }
+
+ private:
+  size_t Physical(size_t row) const { return (head_ + row) % capacity_; }
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t capacity_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t total_rows_ = 0;
+  std::vector<SimTime> times_;   // capacity entries.
+  std::vector<double> values_;   // capacity * columns, column-major.
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TELEMETRY_GAUGE_REGISTRY_H_

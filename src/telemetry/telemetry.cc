@@ -1,0 +1,80 @@
+#include "telemetry/telemetry.h"
+
+#include <cassert>
+
+namespace wtpgsched {
+
+namespace {
+int FindGauge(const GaugeRegistry& gauges, const char* name) {
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (gauges.name(i) == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+}  // namespace
+
+Telemetry::Telemetry(SimTime period, size_t capacity,
+                     const DetectorConfig& detector_config)
+    : period_(period), capacity_(capacity), detectors_(detector_config) {}
+
+void Telemetry::Seal() {
+  assert(!sealed());
+  active_col_ = FindGauge(gauges_, kActiveGauge);
+  commits_col_ = FindGauge(gauges_, kCommitsGauge);
+  aborts_col_ = FindGauge(gauges_, kAbortsGauge);
+  max_age_col_ = FindGauge(gauges_, kMaxWaitAgeGauge);
+  mean_age_col_ = FindGauge(gauges_, kMeanWaitAgeGauge);
+  waiters_col_ = FindGauge(gauges_, kWaitersGauge);
+
+  std::vector<std::string> columns = gauges_.names();
+  columns.push_back("rate.commit_per_s");
+  columns.push_back("rate.abort_per_s");
+  columns.push_back("health.thrashing");
+  columns.push_back("health.convoy");
+  columns.push_back("health.restart_storm");
+  store_ = std::make_unique<TelemetryStore>(std::move(columns), capacity_);
+  row_.resize(store_->num_columns());
+}
+
+void Telemetry::Sample(SimTime now) {
+  assert(sealed());
+  const size_t n = gauges_.size();
+  for (size_t i = 0; i < n; ++i) row_[i] = gauges_.Sample(i);
+
+  auto at = [&](int col) { return col >= 0 ? row_[col] : 0.0; };
+  const double commits = at(commits_col_);
+  const double aborts = at(aborts_col_);
+  const double period_s = TimeToSeconds(period_);
+  row_[n + 0] = period_s > 0.0 ? (commits - prev_commits_) / period_s : 0.0;
+  row_[n + 1] = period_s > 0.0 ? (aborts - prev_aborts_) / period_s : 0.0;
+  prev_commits_ = commits;
+  prev_aborts_ = aborts;
+
+  DetectorInput input;
+  input.active = at(active_col_);
+  input.commits = commits;
+  input.aborts = aborts;
+  input.max_wait_age_s = at(max_age_col_);
+  input.mean_wait_age_s = at(mean_age_col_);
+  input.waiters = at(waiters_col_);
+  const HealthFlags flags = detectors_.Update(input);
+  row_[n + 2] = flags.thrashing;
+  row_[n + 3] = flags.convoy;
+  row_[n + 4] = flags.restart_storm;
+
+  store_->Append(now, row_);
+}
+
+void Telemetry::ExportHealthCounters(CounterRegistry* counters) const {
+  // Fixed registration order: the counter set and order must be identical
+  // for every telemetry-enabled run so parallel-replica merges stay
+  // byte-stable across --jobs values.
+  counters->Counter("health.thrashing") = detectors_.thrashing_verdict();
+  counters->Counter("health.convoy") = detectors_.convoy_verdict();
+  counters->Counter("health.restart_storm") = detectors_.storm_verdict();
+  counters->Counter("health.thrashing_windows") = detectors_.thrashing_windows();
+  counters->Counter("health.convoy_windows") = detectors_.convoy_windows();
+  counters->Counter("health.storm_windows") = detectors_.storm_windows();
+}
+
+}  // namespace wtpgsched

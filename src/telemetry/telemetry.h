@@ -1,0 +1,84 @@
+#ifndef WTPG_SCHED_TELEMETRY_TELEMETRY_H_
+#define WTPG_SCHED_TELEMETRY_TELEMETRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "sim/time.h"
+#include "telemetry/detectors.h"
+#include "telemetry/gauge_registry.h"
+
+namespace wtpgsched {
+
+// The run-health telemetry bundle: a gauge registry the subsystems
+// populate during machine construction, a columnar ring store filled at a
+// fixed sim-time sampling period, and online regime detectors whose flags
+// are appended to every row as derived health.* columns.
+//
+// Lifecycle: construct → Register() gauges → Seal() → Sample() per period.
+// Seal() freezes the gauge set (column order = registration order), adds
+// the derived columns, and resolves the detector inputs by gauge name.
+// All of this is opt-in: a machine without telemetry never constructs one,
+// so the disabled path costs nothing per event.
+class Telemetry {
+ public:
+  // `period` is the sampling period (sim time, > 0); `capacity` bounds the
+  // ring store rows.
+  Telemetry(SimTime period, size_t capacity,
+            const DetectorConfig& detector_config = DetectorConfig());
+
+  SimTime period() const { return period_; }
+
+  // Registration surface, valid until Seal().
+  GaugeRegistry& gauges() { return gauges_; }
+
+  // Freezes the gauge set and builds the store. Idempotent is NOT needed —
+  // call exactly once, after all Register() calls.
+  void Seal();
+  bool sealed() const { return store_ != nullptr; }
+
+  // Evaluates every probe, feeds the detectors, appends one row.
+  void Sample(SimTime now);
+
+  const TelemetryStore& store() const { return *store_; }
+  const HealthDetectors& detectors() const { return detectors_; }
+
+  // Registers the six health.* counters (three 0/1 verdicts, three flagged-
+  // window counts) in a fixed order, so runs with telemetry enabled expose
+  // an identical counter set regardless of what the detectors saw.
+  void ExportHealthCounters(CounterRegistry* counters) const;
+
+  // Gauge names whose series feed the detectors. Registering them is the
+  // machine's job; a missing name simply leaves that detector input zero.
+  static constexpr const char* kActiveGauge = "sched.active";
+  static constexpr const char* kCommitsGauge = "machine.commits";
+  static constexpr const char* kAbortsGauge = "machine.restarts";
+  static constexpr const char* kMaxWaitAgeGauge = "wait.max_age_s";
+  static constexpr const char* kMeanWaitAgeGauge = "wait.mean_age_s";
+  static constexpr const char* kWaitersGauge = "machine.parked";
+
+ private:
+  SimTime period_;
+  size_t capacity_;
+  GaugeRegistry gauges_;
+  std::unique_ptr<TelemetryStore> store_;
+  HealthDetectors detectors_;
+  std::vector<double> row_;
+
+  // Detector-input column indices into the gauge block, -1 when absent.
+  int active_col_ = -1;
+  int commits_col_ = -1;
+  int aborts_col_ = -1;
+  int max_age_col_ = -1;
+  int mean_age_col_ = -1;
+  int waiters_col_ = -1;
+
+  // Previous cumulative values for the per-sample rate columns.
+  double prev_commits_ = 0.0;
+  double prev_aborts_ = 0.0;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_TELEMETRY_TELEMETRY_H_

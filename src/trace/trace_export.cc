@@ -105,7 +105,8 @@ std::string EventToJson(const TraceEvent& e) {
 Status WriteJsonlTrace(
     const std::vector<TraceEvent>& events, const TraceMeta& meta,
     const std::vector<std::pair<std::string, uint64_t>>& counters,
-    uint64_t dropped, const std::string& path) {
+    uint64_t dropped, const std::string& path,
+    const std::vector<GaugeTrack>* gauges) {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   if (!out.is_open()) {
     return Status::Internal(StrCat("cannot open ", path, " for writing"));
@@ -119,7 +120,30 @@ Status WriteJsonlTrace(
       .Add("seed", meta.seed)
       .Add("time_unit", "us");
   out << header.ToString() << '\n';
+  // Gauge series definitions come right after the header so readers know
+  // the index -> name mapping before any "gauge" sample line.
+  if (gauges != nullptr) {
+    for (size_t g = 0; g < gauges->size(); ++g) {
+      JsonWriter def;
+      def.Add("type", "gauge-def")
+          .Add("g", static_cast<int64_t>(g))
+          .Add("name", (*gauges)[g].name);
+      out << def.ToString() << '\n';
+    }
+  }
   for (const TraceEvent& e : events) out << EventToJson(e) << '\n';
+  if (gauges != nullptr) {
+    for (size_t g = 0; g < gauges->size(); ++g) {
+      for (const auto& [time, value] : (*gauges)[g].points) {
+        JsonWriter sample;
+        sample.Add("type", "gauge")
+            .Add("t", static_cast<int64_t>(time))
+            .Add("g", static_cast<int64_t>(g));
+        AddValue(&sample, "v", value);
+        out << sample.ToString() << '\n';
+      }
+    }
+  }
   JsonWriter counters_json;
   for (const auto& [name, value] : counters) counters_json.Add(name, value);
   JsonWriter footer;
@@ -136,9 +160,10 @@ Status WriteJsonlTrace(
 namespace {
 
 // Chrome trace-event emission helpers. pid 1 = DPN tracks, pid 2 = one
-// track per transaction.
+// track per transaction, pid 3 = telemetry counter tracks.
 constexpr int kDpnPid = 1;
 constexpr int kTxnPid = 2;
+constexpr int kGaugePid = 3;
 
 std::string MetadataEvent(const char* name, int pid, int64_t tid,
                           const std::string& value, bool has_tid) {
@@ -180,7 +205,8 @@ std::string InstantEvent(const std::string& name, int pid, int64_t tid,
 }  // namespace
 
 Status WriteChromeTrace(const std::vector<TraceEvent>& events,
-                        const TraceMeta& meta, const std::string& path) {
+                        const TraceMeta& meta, const std::string& path,
+                        const std::vector<GaugeTrack>* gauges) {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   if (!out.is_open()) {
     return Status::Internal(StrCat("cannot open ", path, " for writing"));
@@ -196,6 +222,9 @@ Status WriteChromeTrace(const std::vector<TraceEvent>& events,
   emit(MetadataEvent("process_name", kDpnPid, 0,
                      StrCat("DPN scans (", meta.scheduler, ")"), false));
   emit(MetadataEvent("process_name", kTxnPid, 0, "transactions", false));
+  if (gauges != nullptr && !gauges->empty()) {
+    emit(MetadataEvent("process_name", kGaugePid, 0, "telemetry", false));
+  }
   for (int n = 0; n < meta.num_nodes; ++n) {
     emit(MetadataEvent("thread_name", kDpnPid, n, StrCat("DPN ", n), true));
   }
@@ -336,6 +365,24 @@ Status WriteChromeTrace(const std::vector<TraceEvent>& events,
         break;
       default:
         break;
+    }
+  }
+  // Telemetry gauges become counter tracks: Perfetto renders ph:"C" events
+  // as stacked value graphs alongside the slice tracks above.
+  if (gauges != nullptr) {
+    for (const GaugeTrack& track : *gauges) {
+      for (const auto& [time, value] : track.points) {
+        JsonWriter args;
+        AddValue(&args, "value", value);
+        JsonWriter json;
+        json.Add("name", track.name)
+            .Add("ph", "C")
+            .Add("pid", kGaugePid)
+            .Add("tid", 0)
+            .Add("ts", static_cast<int64_t>(time));
+        json.AddRaw("args", args.ToString());
+        emit(json.ToString());
+      }
     }
   }
   out << "\n]}\n";

@@ -22,25 +22,37 @@ struct TraceMeta {
   uint64_t seed = 0;
 };
 
+// One sampled gauge series, merged into the trace streams as counter
+// tracks (JSONL "gauge" lines; Chrome ph:"C" counter events). Built from a
+// TelemetryStore via ToGaugeTracks() in telemetry/telemetry_export.h.
+struct GaugeTrack {
+  std::string name;
+  std::vector<std::pair<SimTime, double>> points;
+};
+
 // One event as a single-line JSON object ({"t":...,"type":...,...}); only
 // the fields meaningful for the event's type are emitted.
 std::string EventToJson(const TraceEvent& event);
 
-// Writes the schema-versioned JSONL trace: a header object, one event per
-// line (chronological), and a {"type":"end",...} footer with the event and
-// drop totals plus the run's counter registry snapshot.
+// Writes the schema-versioned JSONL trace: a header object, gauge series
+// definitions (when `gauges` is non-null), one event per line
+// (chronological), the gauge sample lines, and a {"type":"end",...} footer
+// with the event and drop totals plus the run's counter registry snapshot.
 Status WriteJsonlTrace(
     const std::vector<TraceEvent>& events, const TraceMeta& meta,
     const std::vector<std::pair<std::string, uint64_t>>& counters,
-    uint64_t dropped, const std::string& path);
+    uint64_t dropped, const std::string& path,
+    const std::vector<GaugeTrack>* gauges = nullptr);
 
 // Writes the Chrome trace-event format (loadable in Perfetto /
 // chrome://tracing): one track per DPN with scan-residence slices, one
 // track per transaction with admission-wait / lock-wait / step slices and
-// instants for commits, aborts and scheduler decisions. `ts` is simulated
+// instants for commits, aborts and scheduler decisions, plus one counter
+// track per sampled gauge when `gauges` is non-null. `ts` is simulated
 // microseconds.
 Status WriteChromeTrace(const std::vector<TraceEvent>& events,
-                        const TraceMeta& meta, const std::string& path);
+                        const TraceMeta& meta, const std::string& path,
+                        const std::vector<GaugeTrack>* gauges = nullptr);
 
 }  // namespace wtpgsched
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <unordered_map>
 
@@ -240,6 +241,65 @@ Status ReadJsonlTrace(const std::string& path, ParsedTrace* out) {
       if (kv.count("dropped") && ParseIntField(kv["dropped"], &n).ok()) {
         out->dropped = static_cast<uint64_t>(n);
       }
+      if (kv.count("counters")) {
+        std::map<std::string, std::string> counters;
+        Status cs = ParseFlatObject(kv["counters"], &counters);
+        if (!cs.ok()) {
+          return Status::InvalidArgument(
+              StrCat(path, ":", line_no, ": footer counters: ", cs.message()));
+        }
+        for (const auto& [name, value] : counters) {
+          int64_t v = 0;
+          Status vs = ParseIntField(value, &v);
+          if (!vs.ok()) {
+            return Status::InvalidArgument(StrCat(path, ":", line_no,
+                                                  ": counter ", name, ": ",
+                                                  vs.message()));
+          }
+          out->footer_counters.emplace_back(name, static_cast<uint64_t>(v));
+        }
+      }
+      continue;
+    }
+    if (type_it->second == "gauge-def") {
+      int64_t index = 0;
+      auto g = kv.find("g");
+      auto name = kv.find("name");
+      if (g == kv.end() || name == kv.end() ||
+          !ParseIntField(g->second, &index).ok() ||
+          index != static_cast<int64_t>(out->gauge_names.size())) {
+        return Status::InvalidArgument(
+            StrCat(path, ":", line_no, ": bad gauge-def line"));
+      }
+      out->gauge_names.push_back(name->second);
+      continue;
+    }
+    if (type_it->second == "gauge") {
+      ParsedTrace::GaugeSample sample;
+      int64_t n = 0;
+      auto t = kv.find("t");
+      auto g = kv.find("g");
+      auto v = kv.find("v");
+      if (t == kv.end() || g == kv.end() || v == kv.end() ||
+          !ParseIntField(t->second, &sample.time).ok() ||
+          !ParseIntField(g->second, &n).ok() || n < 0 ||
+          n >= static_cast<int64_t>(out->gauge_names.size())) {
+        return Status::InvalidArgument(
+            StrCat(path, ":", line_no, ": bad gauge line"));
+      }
+      sample.gauge = static_cast<int>(n);
+      // Non-finite values are written as "inf"/"-inf" strings.
+      if (v->second == "inf") {
+        sample.value = std::numeric_limits<double>::infinity();
+      } else if (v->second == "-inf") {
+        sample.value = -std::numeric_limits<double>::infinity();
+      } else if (v->second == "null") {
+        sample.value = std::numeric_limits<double>::quiet_NaN();
+      } else if (!ParseDoubleField(v->second, &sample.value).ok()) {
+        return Status::InvalidArgument(
+            StrCat(path, ":", line_no, ": bad gauge value"));
+      }
+      out->gauge_samples.push_back(sample);
       continue;
     }
     TraceEvent e;

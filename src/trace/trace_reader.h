@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/trace_event.h"
@@ -18,6 +19,17 @@ namespace wtpgsched {
 struct ParsedTrace {
   TraceMeta meta;
   std::vector<TraceEvent> events;
+  // Telemetry gauge series merged into the trace ("gauge-def" /
+  // "gauge" lines); empty when the run had telemetry disabled.
+  std::vector<std::string> gauge_names;
+  struct GaugeSample {
+    SimTime time = 0;
+    int gauge = 0;  // Index into gauge_names.
+    double value = 0.0;
+  };
+  std::vector<GaugeSample> gauge_samples;
+  // The footer's counter-registry snapshot, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> footer_counters;
   // From the footer; zero when the footer is missing (truncated file).
   uint64_t dropped = 0;
   bool footer_seen = false;

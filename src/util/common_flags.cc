@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/logging.h"
+#include "util/progress.h"
 
 namespace wtpgsched {
 
@@ -31,6 +32,34 @@ void AddTraceFlags(FlagParser& flags) {
                   "(Perfetto-loadable) to this file");
   flags.AddInt("trace-capacity", 1 << 20,
                "trace ring-buffer capacity (most recent events kept)");
+}
+
+void AddTelemetryFlags(FlagParser& flags) {
+  flags.AddDouble("telemetry-ms", 0.0,
+                  "sample run-health gauges every this many sim-time ms "
+                  "(0 = off); enables health.* detector counters");
+  flags.AddInt("telemetry-capacity", 1 << 16,
+               "telemetry ring capacity in rows (most recent kept)");
+  flags.AddString("telemetry-csv", "",
+                  "write the sampled gauge series as wide CSV to this file");
+  flags.AddString("telemetry-jsonl", "",
+                  "write the sampled gauge series as JSONL to this file");
+}
+
+void AddProgressFlags(FlagParser& flags) {
+  flags.AddBool("progress", false,
+                "show a replicas-completed status line on stderr (only when "
+                "stderr is a TTY)");
+  flags.AddBool("progress-force", false,
+                "like --progress but writes even when stderr is not a TTY");
+}
+
+void ApplyProgressFlags(const FlagParser& flags) {
+  if (flags.GetBool("progress-force")) {
+    SetProgressMode(ProgressMode::kForce);
+  } else if (flags.GetBool("progress")) {
+    SetProgressMode(ProgressMode::kAuto);
+  }
 }
 
 int HandleStandardFlags(FlagParser& flags, int argc,

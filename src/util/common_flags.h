@@ -17,6 +17,16 @@ void AddCommonToolFlags(FlagParser& flags);
 // --trace-jsonl, --trace-chrome, --trace-capacity.
 void AddTraceFlags(FlagParser& flags);
 
+// --telemetry-ms, --telemetry-capacity, --telemetry-csv, --telemetry-jsonl.
+void AddTelemetryFlags(FlagParser& flags);
+
+// --progress, --progress-force.
+void AddProgressFlags(FlagParser& flags);
+
+// Sets the process-wide progress mode from the parsed --progress /
+// --progress-force flags (see util/progress.h).
+void ApplyProgressFlags(const FlagParser& flags);
+
 // Parses argv and processes the boilerplate: on parse error prints the
 // error plus usage and returns 2; on --help prints usage and returns 0; on
 // a bad --log-level returns 2, otherwise applies it. Returns -1 when the

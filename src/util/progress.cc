@@ -1,0 +1,94 @@
+#include "util/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace wtpgsched {
+
+namespace {
+ProgressMode g_mode = ProgressMode::kOff;
+
+std::string FormatSeconds(double s) {
+  if (s < 0.0) s = 0.0;
+  const int total = static_cast<int>(s);
+  if (total >= 3600) {
+    return Format("%dh%02dm", total / 3600, (total % 3600) / 60);
+  }
+  if (total >= 60) return Format("%dm%02ds", total / 60, total % 60);
+  return Format("%ds", total);
+}
+}  // namespace
+
+void SetProgressMode(ProgressMode mode) { g_mode = mode; }
+
+ProgressMode GetProgressMode() { return g_mode; }
+
+bool ProgressActive() {
+  switch (g_mode) {
+    case ProgressMode::kOff:
+      return false;
+    case ProgressMode::kForce:
+      return true;
+    case ProgressMode::kAuto:
+      return isatty(fileno(stderr)) != 0;
+  }
+  return false;
+}
+
+ProgressMeter::ProgressMeter(std::string label, size_t total)
+    : label_(std::move(label)),
+      total_(total),
+      active_(ProgressActive() && total > 0),
+      start_(std::chrono::steady_clock::now()),
+      last_render_(start_) {}
+
+ProgressMeter::~ProgressMeter() {
+  if (!active_) return;
+  Render(/*final_line=*/true);
+  // Erase the status line so subsequent output starts on a clean line.
+  std::fputs("\r\033[K", stderr);
+  std::fflush(stderr);
+}
+
+void ProgressMeter::Tick() {
+  const size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!active_) return;
+  // Always render the final tick; throttle the rest to ~10 Hz.
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(render_mu_);
+  if (done < total_ &&
+      now - last_render_ < std::chrono::milliseconds(100)) {
+    return;
+  }
+  last_render_ = now;
+  Render(/*final_line=*/false);
+}
+
+void ProgressMeter::Render(bool final_line) {
+  (void)final_line;
+  const size_t done = done_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double pct =
+      total_ == 0 ? 100.0
+                  : 100.0 * static_cast<double>(done) /
+                        static_cast<double>(total_);
+  std::string line = StrCat("\r", label_, ": ", done, "/", total_, " (",
+                            Format("%.0f", pct), "%) ",
+                            FormatSeconds(elapsed));
+  if (done > 0 && done < total_) {
+    const double eta =
+        elapsed / static_cast<double>(done) *
+        static_cast<double>(total_ - done);
+    line += StrCat(" eta ", FormatSeconds(eta));
+  }
+  line += "\033[K";  // Clear to end of line (shrinking ETA strings).
+  std::fputs(line.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace wtpgsched

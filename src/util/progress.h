@@ -1,0 +1,59 @@
+#ifndef WTPG_SCHED_UTIL_PROGRESS_H_
+#define WTPG_SCHED_UTIL_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace wtpgsched {
+
+// Progress reporting policy for the replica harness. Off by default;
+// kAuto writes only when stderr is a TTY (so redirected/CI output stays
+// clean); kForce writes unconditionally (--progress-force, for piping
+// through `tee` or testing).
+enum class ProgressMode { kOff, kAuto, kForce };
+
+// Process-wide progress mode, set once by flag handling in tools.
+void SetProgressMode(ProgressMode mode);
+ProgressMode GetProgressMode();
+
+// True when the current mode and stderr's TTY-ness allow status output.
+bool ProgressActive();
+
+// A thread-safe stderr status line: "label: done/total (pct) elapsed ETA",
+// rewritten in place via '\r' and erased on destruction so real output is
+// never interleaved with a stale status line. Tick() is called from worker
+// threads; rendering is throttled to ~10 Hz under a mutex, and the counter
+// itself is a relaxed atomic so the harness hot path stays uncontended.
+//
+// Inert (all no-ops) when ProgressActive() is false at construction.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::string label, size_t total);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  // Marks one work item complete.
+  void Tick();
+
+  size_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  void Render(bool final_line);
+
+  const std::string label_;
+  const size_t total_;
+  const bool active_;
+  std::atomic<size_t> done_{0};
+  std::mutex render_mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_render_;
+};
+
+}  // namespace wtpgsched
+
+#endif  // WTPG_SCHED_UTIL_PROGRESS_H_

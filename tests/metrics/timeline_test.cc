@@ -1,34 +1,68 @@
 #include "metrics/timeline.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "machine/machine.h"
+#include "telemetry/gauge_registry.h"
 
 namespace wtpgsched {
 namespace {
 
+// Builds a store with exactly the six legacy columns so the view tests can
+// append rows directly (the production path goes through Telemetry).
+TelemetryStore LegacyStore() {
+  return TelemetryStore(
+      {TimelineRecorder::kInFlightGauge, TimelineRecorder::kActiveGauge,
+       TimelineRecorder::kParkedGauge, TimelineRecorder::kCnQueueGauge,
+       TimelineRecorder::kBacklogGauge, TimelineRecorder::kCompletionsGauge},
+      /*capacity=*/64);
+}
+
 TEST(TimelineRecorderTest, EmptyByDefault) {
   TimelineRecorder recorder;
+  EXPECT_FALSE(recorder.attached());
   EXPECT_TRUE(recorder.empty());
   EXPECT_EQ(recorder.PeakInFlight(), 0u);
 }
 
-TEST(TimelineRecorderTest, RecordsAndPeaks) {
+TEST(TimelineRecorderTest, ViewsStoreRowsAndPeaks) {
+  TelemetryStore store = LegacyStore();
+  store.Append(SecondsToTime(1), {3, 2, 1, 0.0, 5.5, 0});
+  store.Append(SecondsToTime(2), {7, 4, 3, 1.0, 2.0, 2});
+  store.Append(SecondsToTime(3), {5, 5, 0, 0.0, 0.0, 4});
   TimelineRecorder recorder;
-  recorder.Record({SecondsToTime(1), 3, 2, 1, 0.0, 5.5, 0});
-  recorder.Record({SecondsToTime(2), 7, 4, 3, 1.0, 2.0, 2});
-  recorder.Record({SecondsToTime(3), 5, 5, 0, 0.0, 0.0, 4});
-  EXPECT_EQ(recorder.samples().size(), 3u);
+  recorder.Attach(&store);
+  ASSERT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.time(0), SecondsToTime(1));
+  EXPECT_EQ(recorder.in_flight(1), 7u);
+  EXPECT_EQ(recorder.active(1), 4u);
+  EXPECT_EQ(recorder.parked(1), 3u);
+  EXPECT_EQ(recorder.completions(2), 4u);
   EXPECT_EQ(recorder.PeakInFlight(), 7u);
 }
 
-TEST(TimelineRecorderTest, CsvRoundTrip) {
+TEST(TimelineRecorderTest, MissingColumnsReadZero) {
+  TelemetryStore store({"machine.in_flight"}, /*capacity=*/4);
+  store.Append(SecondsToTime(1), {9});
   TimelineRecorder recorder;
-  recorder.Record({SecondsToTime(1), 3, 2, 1, 0.5, 5.5, 9});
+  recorder.Attach(&store);
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.in_flight(0), 9u);
+  EXPECT_EQ(recorder.active(0), 0u);
+  EXPECT_EQ(recorder.cn_queue(0), 0.0);
+}
+
+TEST(TimelineRecorderTest, CsvRoundTrip) {
+  TelemetryStore store = LegacyStore();
+  store.Append(SecondsToTime(1), {3, 2, 1, 0.5, 5.5, 9});
+  TimelineRecorder recorder;
+  recorder.Attach(&store);
   const std::string path = testing::TempDir() + "/timeline_test.csv";
   ASSERT_TRUE(recorder.WriteCsv(path).ok());
   std::ifstream in(path);
@@ -51,7 +85,9 @@ TEST(MachineTimelineTest, DisabledByDefault) {
   c.workload.max_arrivals = 5;
   Machine m(c, Pattern::Experiment1(16));
   m.Run();
+  EXPECT_FALSE(m.timeline().attached());
   EXPECT_TRUE(m.timeline().empty());
+  EXPECT_EQ(m.telemetry(), nullptr);
 }
 
 TEST(MachineTimelineTest, SamplesAtConfiguredPeriod) {
@@ -63,11 +99,11 @@ TEST(MachineTimelineTest, SamplesAtConfiguredPeriod) {
   c.run.seed = 4;
   Machine m(c, Pattern::Experiment1(16));
   const RunStats stats = m.Run();
-  ASSERT_EQ(m.timeline().samples().size(), 10u);
-  EXPECT_EQ(m.timeline().samples().front().time, MsToTime(10'000));
-  EXPECT_EQ(m.timeline().samples().back().time, MsToTime(100'000));
+  ASSERT_EQ(m.timeline().size(), 10u);
+  EXPECT_EQ(m.timeline().time(0), MsToTime(10'000));
+  EXPECT_EQ(m.timeline().time(9), MsToTime(100'000));
   // The cumulative completion counter in the last sample matches the run.
-  EXPECT_EQ(m.timeline().samples().back().completions, stats.completions);
+  EXPECT_EQ(m.timeline().completions(9), stats.completions);
   EXPECT_GT(m.timeline().PeakInFlight(), 0u);
 }
 
@@ -81,8 +117,8 @@ TEST(MachineTimelineTest, ParkedReflectsContention) {
   Machine m(c, Pattern::Experiment1(16));
   m.Run();
   uint64_t max_parked = 0;
-  for (const auto& s : m.timeline().samples()) {
-    max_parked = std::max(max_parked, s.parked);
+  for (size_t row = 0; row < m.timeline().size(); ++row) {
+    max_parked = std::max(max_parked, m.timeline().parked(row));
   }
   EXPECT_GT(max_parked, 0u);
 }

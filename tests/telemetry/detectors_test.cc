@@ -1,0 +1,151 @@
+#include "telemetry/detectors.h"
+
+#include <gtest/gtest.h>
+
+namespace wtpgsched {
+namespace {
+
+// Synthetic series helpers: the detectors see cumulative commit/abort
+// counts, like the machine.commits / machine.restarts gauges.
+
+TEST(HealthDetectorsTest, FlatSeriesStaysQuiet) {
+  HealthDetectors detectors;
+  double commits = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    commits += 5.0;
+    DetectorInput in;
+    in.active = 10.0;
+    in.commits = commits;
+    const HealthFlags flags = detectors.Update(in);
+    EXPECT_EQ(flags.thrashing, 0.0);
+    EXPECT_EQ(flags.convoy, 0.0);
+    EXPECT_EQ(flags.restart_storm, 0.0);
+  }
+  EXPECT_FALSE(detectors.thrashing_verdict());
+  EXPECT_FALSE(detectors.convoy_verdict());
+  EXPECT_FALSE(detectors.storm_verdict());
+}
+
+TEST(HealthDetectorsTest, ThrashingKneeFires) {
+  // Healthy phase: MPL 10, commit rate 10/sample. Thrashing phase: MPL
+  // doubles while the commit rate collapses — the paper's data-contention
+  // knee gone unstable.
+  HealthDetectors detectors;
+  double commits = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    commits += 10.0;
+    DetectorInput in;
+    in.active = 10.0;
+    in.commits = commits;
+    detectors.Update(in);
+  }
+  EXPECT_EQ(detectors.thrashing_windows(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    commits += 2.0;
+    DetectorInput in;
+    in.active = 20.0;
+    in.commits = commits;
+    detectors.Update(in);
+  }
+  EXPECT_TRUE(detectors.thrashing_verdict());
+  EXPECT_FALSE(detectors.convoy_verdict());
+  EXPECT_FALSE(detectors.storm_verdict());
+}
+
+TEST(HealthDetectorsTest, RisingMplWithRisingThroughputIsHealthy) {
+  // MPL doubling while throughput also grows is ramp-up, not thrashing.
+  HealthDetectors detectors;
+  double commits = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    commits += 10.0;
+    DetectorInput in;
+    in.active = 10.0;
+    in.commits = commits;
+    detectors.Update(in);
+  }
+  for (int i = 0; i < 16; ++i) {
+    commits += 20.0;
+    DetectorInput in;
+    in.active = 20.0;
+    in.commits = commits;
+    detectors.Update(in);
+  }
+  EXPECT_EQ(detectors.thrashing_windows(), 0u);
+}
+
+TEST(HealthDetectorsTest, ConvoyIsInstantaneous) {
+  HealthDetectors detectors;
+  DetectorInput in;
+  in.waiters = 5.0;
+  in.max_wait_age_s = 10.0;
+  in.mean_wait_age_s = 1.0;
+  const HealthFlags flags = detectors.Update(in);
+  EXPECT_EQ(flags.convoy, 1.0);
+  EXPECT_FALSE(detectors.convoy_verdict());  // One window is not persistent.
+  detectors.Update(in);
+  detectors.Update(in);
+  EXPECT_TRUE(detectors.convoy_verdict());
+  EXPECT_EQ(detectors.convoy_windows(), 3u);
+}
+
+TEST(HealthDetectorsTest, ConvoyNeedsEnoughOldWaiters) {
+  HealthDetectors detectors;
+  DetectorInput in;
+  in.waiters = 2.0;  // Below convoy_min_waiters.
+  in.max_wait_age_s = 10.0;
+  in.mean_wait_age_s = 1.0;
+  EXPECT_EQ(detectors.Update(in).convoy, 0.0);
+  in.waiters = 8.0;
+  in.max_wait_age_s = 0.5;  // Below convoy_min_age_s.
+  in.mean_wait_age_s = 0.1;
+  EXPECT_EQ(detectors.Update(in).convoy, 0.0);
+  in.max_wait_age_s = 10.0;
+  in.mean_wait_age_s = 9.0;  // Everyone is equally old: no divergence.
+  EXPECT_EQ(detectors.Update(in).convoy, 0.0);
+}
+
+TEST(HealthDetectorsTest, RestartStormFires) {
+  // Commits crawl at 1/sample throughout; aborts explode in the second
+  // phase (an abort-storm fault scenario).
+  HealthDetectors detectors;
+  double commits = 0.0;
+  double aborts = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    commits += 1.0;
+    DetectorInput in;
+    in.active = 5.0;
+    in.commits = commits;
+    in.aborts = aborts;
+    detectors.Update(in);
+  }
+  EXPECT_EQ(detectors.storm_windows(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    commits += 1.0;
+    aborts += 5.0;
+    DetectorInput in;
+    in.active = 5.0;
+    in.commits = commits;
+    in.aborts = aborts;
+    detectors.Update(in);
+  }
+  EXPECT_TRUE(detectors.storm_verdict());
+  EXPECT_FALSE(detectors.thrashing_verdict());
+}
+
+TEST(HealthDetectorsTest, FewAbortsAtIdleTailDoNotStorm) {
+  // An abort trickle (below storm_min_aborts per window) never flags even
+  // when commits are zero.
+  HealthDetectors detectors;
+  double aborts = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    aborts += 0.2;
+    DetectorInput in;
+    in.commits = 0.0;
+    in.aborts = aborts;
+    detectors.Update(in);
+  }
+  EXPECT_EQ(detectors.storm_windows(), 0u);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -1,0 +1,69 @@
+#include "telemetry/gauge_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace wtpgsched {
+namespace {
+
+TEST(GaugeRegistryTest, RegistrationOrderIsColumnOrder) {
+  GaugeRegistry registry;
+  double a = 1.0;
+  double b = 2.0;
+  registry.Register("sched.active", [&] { return a; });
+  registry.Register("machine.commits", [&] { return b; });
+  ASSERT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.name(0), "sched.active");
+  EXPECT_EQ(registry.name(1), "machine.commits");
+  EXPECT_EQ(registry.Sample(0), 1.0);
+  EXPECT_EQ(registry.Sample(1), 2.0);
+  a = 7.0;
+  EXPECT_EQ(registry.Sample(0), 7.0);  // Probes read live state.
+}
+
+TEST(TelemetryStoreTest, AppendAndIndex) {
+  TelemetryStore store({"x", "y"}, /*capacity=*/8);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.ColumnIndex("x"), 0);
+  EXPECT_EQ(store.ColumnIndex("y"), 1);
+  EXPECT_EQ(store.ColumnIndex("missing"), -1);
+  store.Append(MsToTime(10), {1.0, 2.0});
+  store.Append(MsToTime(20), {3.0, 4.0});
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.time(0), MsToTime(10));
+  EXPECT_EQ(store.time(1), MsToTime(20));
+  EXPECT_EQ(store.value(0, 0), 1.0);
+  EXPECT_EQ(store.value(1, 1), 4.0);
+  EXPECT_EQ(store.dropped(), 0u);
+}
+
+TEST(TelemetryStoreTest, RingOverwritesOldest) {
+  TelemetryStore store({"v"}, /*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    store.Append(MsToTime(i), {static_cast<double>(i)});
+  }
+  // Rows 0 and 1 were overwritten; the window is [2, 3, 4] oldest-first.
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.total_rows(), 5u);
+  EXPECT_EQ(store.dropped(), 2u);
+  EXPECT_EQ(store.time(0), MsToTime(2));
+  EXPECT_EQ(store.value(0, 0), 2.0);
+  EXPECT_EQ(store.value(2, 0), 4.0);
+}
+
+TEST(TelemetryStoreTest, WrapKeepsColumnsAligned) {
+  TelemetryStore store({"a", "b"}, /*capacity=*/2);
+  store.Append(MsToTime(1), {10.0, 100.0});
+  store.Append(MsToTime(2), {20.0, 200.0});
+  store.Append(MsToTime(3), {30.0, 300.0});
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.time(0), MsToTime(2));
+  EXPECT_EQ(store.value(0, 0), 20.0);
+  EXPECT_EQ(store.value(0, 1), 200.0);
+  EXPECT_EQ(store.value(1, 0), 30.0);
+  EXPECT_EQ(store.value(1, 1), 300.0);
+}
+
+}  // namespace
+}  // namespace wtpgsched

@@ -16,6 +16,7 @@
 #include "driver/sim_run.h"
 #include "fault/fault_flags.h"
 #include "machine/machine.h"
+#include "telemetry/telemetry_export.h"
 #include "trace/trace_export.h"
 #include "util/common_flags.h"
 #include "util/logging.h"
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   AddCommonToolFlags(flags);
   AddTraceFlags(flags);
+  AddTelemetryFlags(flags);
+  AddProgressFlags(flags);
   AddFaultFlags(flags);
   flags.AddString("workload", "exp1", "exp1|exp2 (ignored with --pattern)");
   flags.AddString("pattern", "", "pattern notation, e.g. 'r(A:1) -> w(B:2)'");
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
 
   const int standard = HandleStandardFlags(flags, argc, argv);
   if (standard >= 0) return standard;
+  ApplyProgressFlags(flags);
 
   SimConfig config;
   const bool from_file = flags.WasSet("config");
@@ -125,6 +129,18 @@ int main(int argc, char** argv) {
     config.run.trace_capacity =
         static_cast<uint64_t>(flags.GetInt("trace-capacity"));
   }
+  // Requesting a telemetry artifact without --telemetry-ms samples at the
+  // timeline default (10 s).
+  const std::string telemetry_csv = flags.GetString("telemetry-csv");
+  const std::string telemetry_jsonl = flags.GetString("telemetry-jsonl");
+  if (flags.GetDouble("telemetry-ms") > 0.0 || !telemetry_csv.empty() ||
+      !telemetry_jsonl.empty()) {
+    config.run.telemetry_sample_ms = flags.GetDouble("telemetry-ms") > 0.0
+                                         ? flags.GetDouble("telemetry-ms")
+                                         : 10'000.0;
+    config.run.telemetry_capacity =
+        static_cast<uint64_t>(flags.GetInt("telemetry-capacity"));
+  }
   Status status = config.Validate();
   if (!status.ok()) {
     std::fprintf(stderr, "bad configuration: %s\n", status.ToString().c_str());
@@ -156,10 +172,12 @@ int main(int argc, char** argv) {
   if (num_seeds > 1) {
     if (!trace_jsonl.empty() || !trace_chrome.empty() ||
         !flags.GetString("dot-out").empty() ||
-        !flags.GetString("timeline-csv").empty() || flags.GetBool("verify")) {
+        !flags.GetString("timeline-csv").empty() || !telemetry_csv.empty() ||
+        !telemetry_jsonl.empty() || flags.GetBool("verify")) {
       std::fprintf(stderr,
                    "--seeds > 1 is incompatible with --trace-*/--dot-out/"
-                   "--timeline-csv/--verify (single-run outputs)\n");
+                   "--timeline-csv/--telemetry-csv/--telemetry-jsonl/"
+                   "--verify (single-run outputs)\n");
       return 2;
     }
     const AggregateResult agg =
@@ -206,6 +224,16 @@ int main(int argc, char** argv) {
 
   const RunStats stats = machine.Run();
 
+  // Sampled gauge series ride along inside the trace files as counter
+  // tracks; legacy timeline-only runs (telemetry_sample_ms == 0) keep the
+  // trace byte-identical.
+  std::vector<GaugeTrack> gauge_tracks;
+  const std::vector<GaugeTrack>* gauges = nullptr;
+  if (machine.telemetry() != nullptr && config.run.telemetry_sample_ms > 0.0) {
+    gauge_tracks = ToGaugeTracks(machine.telemetry()->store());
+    gauges = &gauge_tracks;
+  }
+
   if (!trace_jsonl.empty() || !trace_chrome.empty()) {
     TraceMeta meta;
     meta.scheduler = machine.scheduler().name();
@@ -217,16 +245,41 @@ int main(int argc, char** argv) {
     if (!trace_jsonl.empty()) {
       const Status written = WriteJsonlTrace(events, meta, stats.counters,
                                              machine.trace().dropped(),
-                                             trace_jsonl);
+                                             trace_jsonl, gauges);
       if (!written.ok()) {
         std::fprintf(stderr, "trace-jsonl: %s\n", written.ToString().c_str());
         return 1;
       }
     }
     if (!trace_chrome.empty()) {
-      const Status written = WriteChromeTrace(events, meta, trace_chrome);
+      const Status written =
+          WriteChromeTrace(events, meta, trace_chrome, gauges);
       if (!written.ok()) {
         std::fprintf(stderr, "trace-chrome: %s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (!telemetry_csv.empty() || !telemetry_jsonl.empty()) {
+    if (machine.telemetry() == nullptr) {
+      std::fprintf(stderr, "telemetry: sampling is disabled\n");
+      return 2;
+    }
+    const TelemetryStore& store = machine.telemetry()->store();
+    if (!telemetry_csv.empty()) {
+      const Status written = WriteTelemetryCsv(store, telemetry_csv);
+      if (!written.ok()) {
+        std::fprintf(stderr, "telemetry-csv: %s\n",
+                     written.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!telemetry_jsonl.empty()) {
+      const Status written = WriteTelemetryJsonl(store, telemetry_jsonl);
+      if (!written.ok()) {
+        std::fprintf(stderr, "telemetry-jsonl: %s\n",
+                     written.ToString().c_str());
         return 1;
       }
     }
@@ -304,7 +357,7 @@ int main(int argc, char** argv) {
     }
     std::printf("timeline           %s (%zu samples)\n",
                 flags.GetString("timeline-csv").c_str(),
-                machine.timeline().samples().size());
+                machine.timeline().size());
   }
 
   if (flags.GetBool("verify")) {

@@ -30,6 +30,7 @@ using namespace wtpgsched;
 int main(int argc, char** argv) {
   FlagParser flags;
   AddCommonToolFlags(flags);
+  AddProgressFlags(flags);
   AddFaultFlags(flags);
   flags.AddString("mode", "rates", "rates|rt-target|mpl|faults|openworld");
   flags.AddString("workload", "exp1", "exp1|exp2");
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
 
   const int standard = HandleStandardFlags(flags, argc, argv);
   if (standard >= 0) return standard;
+  ApplyProgressFlags(flags);
 
   SimConfig config;
   const bool from_file = flags.WasSet("config");

@@ -13,23 +13,32 @@
 //
 //   wtpg-trace perfetto <trace.jsonl> <out.json>
 //       Converts the trace to Chrome trace-event format, loadable in
-//       Perfetto (ui.perfetto.dev) or chrome://tracing.
+//       Perfetto (ui.perfetto.dev) or chrome://tracing. Sampled gauge
+//       series recorded with --telemetry-ms become counter tracks.
+//
+//   wtpg-trace report <trace.jsonl> [more.jsonl ...] <out.html>
+//       Renders a self-contained HTML run-health report (inline SVG
+//       time-series charts plus thrashing/convoy/restart-storm verdicts)
+//       for one or more runs recorded with --telemetry-ms.
 
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/time.h"
+#include "telemetry/report_html.h"
 #include "trace/trace_analysis.h"
 #include "trace/trace_export.h"
 #include "trace/trace_reader.h"
 #include "util/flags.h"
+#include "util/string_util.h"
 
 using namespace wtpgsched;
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: wtpg-trace <summary|check-serializable|perfetto> <trace.jsonl> "
-    "[out.json] [--top=N]\n";
+    "usage: wtpg-trace <summary|check-serializable|perfetto|report> "
+    "<trace.jsonl> [more.jsonl ...] [out] [--top=N]\n";
 
 int LoadTrace(const std::string& path, ParsedTrace* trace) {
   const Status status = ReadJsonlTrace(path, trace);
@@ -115,16 +124,67 @@ int RunCheckSerializable(const std::string& path) {
   return result.serializable ? 0 : 1;
 }
 
+// Regroups a parsed trace's flat gauge-sample list into per-gauge tracks
+// (sample lines are time-ordered, so each track comes out time-ordered).
+std::vector<GaugeTrack> TracksFromTrace(const ParsedTrace& trace) {
+  std::vector<GaugeTrack> tracks(trace.gauge_names.size());
+  for (size_t g = 0; g < trace.gauge_names.size(); ++g) {
+    tracks[g].name = trace.gauge_names[g];
+  }
+  for (const ParsedTrace::GaugeSample& sample : trace.gauge_samples) {
+    tracks[static_cast<size_t>(sample.gauge)].points.emplace_back(
+        sample.time, sample.value);
+  }
+  return tracks;
+}
+
 int RunPerfetto(const std::string& path, const std::string& out) {
   ParsedTrace trace;
   if (int rc = LoadTrace(path, &trace); rc != 0) return rc;
-  const Status written = WriteChromeTrace(trace.events, trace.meta, out);
+  const std::vector<GaugeTrack> tracks = TracksFromTrace(trace);
+  const Status written =
+      WriteChromeTrace(trace.events, trace.meta, out,
+                       tracks.empty() ? nullptr : &tracks);
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;
   }
-  std::printf("chrome trace       %s (%zu events)\n", out.c_str(),
-              trace.events.size());
+  std::printf("chrome trace       %s (%zu events, %zu gauges)\n", out.c_str(),
+              trace.events.size(), tracks.size());
+  return 0;
+}
+
+int RunReport(const std::vector<std::string>& inputs, const std::string& out) {
+  std::vector<ReportRun> runs;
+  runs.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    ParsedTrace trace;
+    if (int rc = LoadTrace(path, &trace); rc != 0) return rc;
+    if (trace.gauge_names.empty()) {
+      std::fprintf(stderr,
+                   "warning: %s has no gauge samples (recorded without "
+                   "--telemetry-ms?)\n",
+                   path.c_str());
+    }
+    ReportRun run;
+    run.title = StrCat(trace.meta.scheduler, " seed=", trace.meta.seed, " (",
+                       path, ")");
+    run.scheduler = trace.meta.scheduler;
+    run.gauge_names = trace.gauge_names;
+    run.series.resize(trace.gauge_names.size());
+    for (const ParsedTrace::GaugeSample& sample : trace.gauge_samples) {
+      run.series[static_cast<size_t>(sample.gauge)].emplace_back(
+          TimeToSeconds(sample.time), sample.value);
+    }
+    run.counters = trace.footer_counters;
+    runs.push_back(std::move(run));
+  }
+  const Status written = WriteRunReport(runs, out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("report             %s (%zu runs)\n", out.c_str(), runs.size());
   return 0;
 }
 
@@ -164,6 +224,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunPerfetto(path, args[2]);
+  }
+  if (command == "report") {
+    if (args.size() < 3) {
+      std::fprintf(stderr, "report needs an output path\n%s", kUsage);
+      return 2;
+    }
+    const std::vector<std::string> inputs(args.begin() + 1, args.end() - 1);
+    return RunReport(inputs, args.back());
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
